@@ -1,0 +1,103 @@
+//! Microbenchmarks of the memory-hierarchy substrates: the per-access
+//! costs that bound overall simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aurora_core::ReorderBuffer;
+use aurora_mem::{
+    Biu, DirectMappedCache, Geometry, LatencyModel, LineAddr, MshrFile, StreamBuffers,
+    StreamProbe, TransferKind, WriteCache,
+};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("probe_hit", |b| {
+        let mut cache = DirectMappedCache::new(Geometry::new(32 * 1024, 32));
+        cache.fill(0x1000);
+        b.iter(|| black_box(cache.probe(black_box(0x1000))));
+    });
+    group.bench_function("probe_miss_fill", |b| {
+        let mut cache = DirectMappedCache::new(Geometry::new(32 * 1024, 32));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096);
+            if !cache.probe(addr) {
+                cache.fill(addr);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_write_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_cache");
+    group.bench_function("coalescing_store", |b| {
+        let mut wc = WriteCache::new(4);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(wc.store(black_box(0x2000 + (t % 8) * 4), 4, t));
+        });
+    });
+    group.bench_function("thrashing_store", |b| {
+        let mut wc = WriteCache::new(4);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(wc.store(black_box((t % 64) * 0x1000), 4, t));
+        });
+    });
+    group.finish();
+}
+
+fn bench_streams(c: &mut Criterion) {
+    c.bench_function("stream_buffer_probe_allocate", |b| {
+        let mut sb = StreamBuffers::new(4, 3);
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            match sb.probe(LineAddr(line), line) {
+                StreamProbe::Hit { .. } => sb.deepen(|_| line + 20),
+                StreamProbe::Miss => sb.allocate(LineAddr(line), line, |_| line + 20),
+            }
+        });
+    });
+}
+
+fn bench_mshr_rob_biu(c: &mut Criterion) {
+    c.bench_function("mshr_cycle", |b| {
+        let mut m = MshrFile::new(4);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            m.expire(t);
+            if m.lookup(LineAddr(t % 8)).is_none() && m.has_free() {
+                let _ = m.allocate(LineAddr(t % 8), t + 20);
+            }
+        });
+    });
+    c.bench_function("rob_push_drain", |b| {
+        let mut rob = ReorderBuffer::new(6);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            rob.drain(t);
+            let _ = rob.try_push(t + 3);
+        });
+    });
+    c.bench_function("biu_request", |b| {
+        let mut biu = Biu::new(LatencyModel::average_17(), 32, 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 30;
+            black_box(biu.request(t, TransferKind::DataFill));
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_write_cache, bench_streams, bench_mshr_rob_biu
+);
+criterion_main!(benches);

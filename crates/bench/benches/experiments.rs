@@ -1,0 +1,131 @@
+//! End-to-end benchmark per paper experiment: each target runs the exact
+//! workload/configuration pipeline behind one table or figure (at reduced
+//! trace length) and reports simulation throughput. `cargo bench` green
+//! here means every experiment's code path is exercised.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use aurora_core::{simulate, FpIssuePolicy, IssueWidth, MachineModel};
+use aurora_isa::TraceOp;
+use aurora_mem::LatencyModel;
+use aurora_workloads::{FpBenchmark, IntBenchmark, Scale};
+
+/// Pre-collected short traces so the benches measure the simulator, not
+/// the emulator.
+fn trace_of_int(b: IntBenchmark, cap: usize) -> Vec<TraceOp> {
+    let mut ops = Vec::with_capacity(cap);
+    let w = b.workload(Scale::Test);
+    let _ = w.run_traced(|op| {
+        if ops.len() < cap {
+            ops.push(op);
+        }
+    });
+    ops
+}
+
+fn trace_of_fp(b: FpBenchmark, cap: usize) -> Vec<TraceOp> {
+    let mut ops = Vec::with_capacity(cap);
+    let w = b.workload(Scale::Test);
+    let _ = w.run_traced(|op| {
+        if ops.len() < cap {
+            ops.push(op);
+        }
+    });
+    ops
+}
+
+fn fig4_issue_performance(c: &mut Criterion) {
+    let trace = trace_of_int(IntBenchmark::Espresso, 50_000);
+    let mut group = c.benchmark_group("fig4");
+    for issue in [IssueWidth::Single, IssueWidth::Dual] {
+        for latency in [17u32, 35] {
+            let cfg = MachineModel::Baseline.config(issue, LatencyModel::Fixed(latency));
+            group.bench_function(format!("baseline_{issue}_L{latency}"), |b| {
+                b.iter_batched(
+                    || trace.clone(),
+                    |t| simulate(&cfg, t),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig5_fig7_memory_features(c: &mut Criterion) {
+    let trace = trace_of_int(IntBenchmark::Sc, 50_000);
+    let mut group = c.benchmark_group("fig5_fig7");
+    let mut no_prefetch = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    no_prefetch.prefetch_enabled = false;
+    group.bench_function("no_prefetch", |b| {
+        b.iter_batched(|| trace.clone(), |t| simulate(&no_prefetch, t), BatchSize::LargeInput)
+    });
+    let mut one_mshr = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    one_mshr.mshr_entries = 1;
+    group.bench_function("one_mshr", |b| {
+        b.iter_batched(|| trace.clone(), |t| simulate(&one_mshr, t), BatchSize::LargeInput)
+    });
+    group.finish();
+}
+
+fn tab3_tab5_models(c: &mut Criterion) {
+    let trace = trace_of_int(IntBenchmark::Compress, 50_000);
+    let mut group = c.benchmark_group("tab3_tab5");
+    for model in MachineModel::ALL {
+        let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        group.bench_function(format!("{model}"), |b| {
+            b.iter_batched(|| trace.clone(), |t| simulate(&cfg, t), BatchSize::LargeInput)
+        });
+    }
+    group.finish();
+}
+
+fn tab6_fig9_fpu(c: &mut Criterion) {
+    let trace = trace_of_fp(FpBenchmark::Su2cor, 50_000);
+    let mut group = c.benchmark_group("tab6_fig9");
+    for policy in [
+        FpIssuePolicy::InOrderComplete,
+        FpIssuePolicy::OutOfOrderSingle,
+        FpIssuePolicy::OutOfOrderDual,
+    ] {
+        let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        cfg.fpu.issue_policy = policy;
+        group.bench_function(format!("{policy}"), |b| {
+            b.iter_batched(|| trace.clone(), |t| simulate(&cfg, t), BatchSize::LargeInput)
+        });
+    }
+    let mut deep = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    deep.fpu.div_latency = 30;
+    group.bench_function("div30", |b| {
+        b.iter_batched(|| trace.clone(), |t| simulate(&deep, t), BatchSize::LargeInput)
+    });
+    group.finish();
+}
+
+fn emulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator");
+    group.sample_size(10);
+    for b in [IntBenchmark::Eqntott, IntBenchmark::Gcc] {
+        let w = b.workload(Scale::Test);
+        group.bench_function(format!("{b}"), |bch| {
+            bch.iter(|| {
+                let mut n = 0u64;
+                w.run_traced(|_| n += 1).unwrap();
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig4_issue_performance,
+        fig5_fig7_memory_features,
+        tab3_tab5_models,
+        tab6_fig9_fpu,
+        emulation_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Calibration report: per-benchmark hit rates and CPI on each model,
+//! compared against the paper's §5 anchor numbers (base model I$ 96.5%,
+//! D$ 95.4%).
+
+use aurora_bench::harness::{cpi, integer_suite, pct, run, scale_from_args, TextTable};
+use aurora_core::{IssueWidth, MachineModel, StallKind};
+use aurora_mem::LatencyModel;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = integer_suite(scale);
+    for model in MachineModel::ALL {
+        let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let mut t = TextTable::new([
+            "bench", "CPI", "I$%", "D$%", "Ipf%", "Dpf%", "WC%", "traffic", "fold%",
+            "dual%", "stICa", "stLd", "stRob", "stLsu",
+        ]);
+        for w in &suite {
+            let s = run(&cfg, w);
+            let folds = s.folded_branches as f64
+                / (s.folded_branches + s.unfolded_branches).max(1) as f64;
+            t.row([
+                w.name().to_string(),
+                cpi(s.cpi()),
+                pct(s.icache.hit_rate()),
+                pct(s.dcache.hit_rate()),
+                pct(s.istream.hit_rate()),
+                pct(s.dstream.hit_rate()),
+                pct(s.write_cache.hit_rate()),
+                pct(s.write_cache.traffic_ratio()),
+                pct(folds),
+                pct(s.dual_issue_rate()),
+                cpi(s.stall_cpi(StallKind::ICache)),
+                cpi(s.stall_cpi(StallKind::Load)),
+                cpi(s.stall_cpi(StallKind::RobFull)),
+                cpi(s.stall_cpi(StallKind::LsuBusy)),
+            ]);
+        }
+        println!("== {model} (dual, L17, scale {scale}) ==");
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 1: single-chip microprocessor clock frequencies presented at
+//! ISSCC, 1983–1993, with the paper's ~40 %/year trend line.
+//!
+//! This is historical data, not a simulation output; the dataset below is
+//! a representative survey of published ISSCC parts in the paper's span
+//! (min/max per conference year).
+
+use aurora_bench::harness::TextTable;
+
+/// (year, slowest MHz, fastest MHz) per ISSCC conference.
+const SURVEY: &[(u32, f64, f64)] = &[
+    (1983, 4.0, 16.0),
+    (1984, 5.0, 20.0),
+    (1985, 8.0, 25.0),
+    (1986, 10.0, 33.0),
+    (1987, 12.0, 50.0),
+    (1988, 16.0, 66.0),
+    (1989, 20.0, 80.0),
+    (1990, 25.0, 100.0),
+    (1991, 33.0, 150.0),
+    (1992, 40.0, 200.0),
+    (1993, 50.0, 275.0),
+];
+
+fn main() {
+    let mut t = TextTable::new(["year", "slowest MHz", "fastest MHz", "trend MHz"]);
+    // The paper's line: ~40 % growth per year through the fastest parts.
+    let base_year = SURVEY[0].0;
+    let base = 14.0;
+    for &(year, lo, hi) in SURVEY {
+        let trend = base * 1.40_f64.powi((year - base_year) as i32);
+        t.row([
+            year.to_string(),
+            format!("{lo:.0}"),
+            format!("{hi:.0}"),
+            format!("{trend:.0}"),
+        ]);
+    }
+    println!("Figure 1: ISSCC single-chip clock-frequency survey");
+    println!("{}", t.render());
+
+    // Fit the actual growth rate of the fastest parts.
+    let n = SURVEY.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(year, _, hi) in SURVEY {
+        let x = (year - base_year) as f64;
+        let y = hi.ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let growth = slope.exp() - 1.0;
+    println!("fitted fastest-part growth: {:.1}% per year (paper: ~40%)", 100.0 * growth);
+    let spread: f64 = SURVEY.iter().map(|&(_, lo, hi)| hi / lo).sum::<f64>() / n;
+    println!("average fastest/slowest spread: {spread:.1}x (paper: at least 2x, widening)");
+}

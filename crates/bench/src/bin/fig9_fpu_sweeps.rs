@@ -1,0 +1,108 @@
+//! Figure 9: the FPU design-space sweeps — queue sizes (a–c) and
+//! functional-unit latencies (d–g) — measured as average CPI over the FP
+//! suite with the single-issue out-of-order policy, as in §5.9.
+//!
+//! `--ablation` additionally reruns the §5.10 pipelining study:
+//! non-pipelined add/multiply units cost less than 5 % performance.
+
+use aurora_bench::harness::{cpi, fp_suite, has_flag, run, scale_from_args, TextTable};
+use aurora_core::{FpIssuePolicy, IssueWidth, MachineConfig, MachineModel};
+use aurora_mem::LatencyModel;
+use aurora_workloads::Workload;
+
+fn base_cfg() -> MachineConfig {
+    let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    cfg.fpu.issue_policy = FpIssuePolicy::OutOfOrderSingle;
+    cfg
+}
+
+fn avg_cpi(cfg: &MachineConfig, suite: &[Workload]) -> f64 {
+    let total: f64 = suite.iter().map(|w| run(cfg, w).cpi()).sum();
+    total / suite.len() as f64
+}
+
+fn sweep(
+    title: &str,
+    values: &[u32],
+    suite: &[Workload],
+    apply: impl Fn(&mut MachineConfig, u32),
+) {
+    let mut t = TextTable::new([title.to_string(), "avg CPI".to_string()]);
+    let mut first = None;
+    let mut last = 0.0;
+    for &v in values {
+        let mut cfg = base_cfg();
+        apply(&mut cfg, v);
+        let c = avg_cpi(&cfg, suite);
+        first.get_or_insert(c);
+        last = c;
+        t.row([v.to_string(), cpi(c)]);
+    }
+    println!("{}", t.render());
+    let first = first.unwrap();
+    println!(
+        "  swing across range: {:.1}%\n",
+        100.0 * (first.max(last) - first.min(last)) / first.max(last)
+    );
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = fp_suite(scale);
+
+    println!("Figure 9a: instruction-queue size (scale {scale})");
+    sweep("IQ entries", &[1, 2, 3, 4, 5], &suite, |cfg, v| {
+        cfg.fpu.instr_queue = v as usize;
+    });
+
+    println!("Figure 9b: load-data-queue size");
+    sweep("LDQ entries", &[1, 2, 3, 4, 5], &suite, |cfg, v| {
+        cfg.fpu.load_queue = v as usize;
+    });
+
+    println!("Figure 9c: FPU reorder-buffer size");
+    sweep("ROB entries", &[3, 5, 7, 9, 11], &suite, |cfg, v| {
+        cfg.fpu.rob_entries = v as usize;
+    });
+
+    println!("Figure 9d: add-unit latency");
+    sweep("add cycles", &[1, 2, 3, 4, 5], &suite, |cfg, v| {
+        cfg.fpu.add_latency = v;
+    });
+
+    println!("Figure 9e: multiply-unit latency");
+    sweep("mul cycles", &[1, 2, 3, 4, 5], &suite, |cfg, v| {
+        cfg.fpu.mul_latency = v;
+    });
+
+    println!("Figure 9f: divide-unit latency");
+    sweep("div cycles", &[10, 15, 19, 25, 30], &suite, |cfg, v| {
+        cfg.fpu.div_latency = v;
+    });
+
+    println!("Figure 9g: convert-unit latency");
+    sweep("cvt cycles", &[1, 2, 3, 4, 5], &suite, |cfg, v| {
+        cfg.fpu.cvt_latency = v;
+    });
+
+    println!("paper: add/mul show ~17% CPI swing over 1-5 cycles, divide ~8%");
+    println!("over 10-30; conversion latency hardly matters.");
+
+    if has_flag("--ablation") {
+        println!("\nSection 5.10 ablation: removing pipeline latches");
+        let mut t = TextTable::new(["configuration", "avg CPI"]);
+        let pipelined = base_cfg();
+        let c0 = avg_cpi(&pipelined, &suite);
+        t.row(["pipelined add + mul".to_string(), cpi(c0)]);
+        let mut both = base_cfg();
+        both.fpu.add_pipelined = false;
+        both.fpu.mul_pipelined = false;
+        let c1 = avg_cpi(&both, &suite);
+        t.row(["non-pipelined add + mul".to_string(), cpi(c1)]);
+        println!("{}", t.render());
+        println!(
+            "  degradation: {:.1}% (paper: less than 5%)",
+            100.0 * (c1 - c0) / c0
+        );
+    }
+}

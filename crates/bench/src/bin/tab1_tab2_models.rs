@@ -1,0 +1,67 @@
+//! Tables 1 and 2: the three machine models and the RBE element costs,
+//! printed from the configuration presets and cost model so any drift
+//! between code and paper is visible.
+
+use aurora_bench::harness::TextTable;
+use aurora_core::{FpuConfig, IssueWidth, MachineModel};
+use aurora_cost::{
+    add_unit_cost, convert_unit_cost, divide_unit_cost, fpu_cost, icache_cost, ipu_cost,
+    multiply_unit_cost, INTEGER_PIPELINE, MSHR_ENTRY, PREFETCH_LINE, ROB_ENTRY, WRITE_CACHE_LINE,
+};
+use aurora_mem::LatencyModel;
+
+fn main() {
+    println!("Table 1: the three machine models");
+    let mut t1 = TextTable::new(["model", "I$", "D$", "WC lines", "ROB", "prefetch", "MSHR"]);
+    for m in MachineModel::ALL {
+        let c = m.config(IssueWidth::Single, LatencyModel::Fixed(17));
+        t1.row([
+            m.to_string(),
+            format!("{} KB", c.icache_bytes / 1024),
+            format!("{} KB", c.dcache_bytes / 1024),
+            c.write_cache_lines.to_string(),
+            c.rob_entries.to_string(),
+            c.prefetch_buffers.to_string(),
+            c.mshr_entries.to_string(),
+        ]);
+    }
+    println!("{}", t1.render());
+
+    println!("Table 2: processor element costs in RBE units");
+    let mut t2 = TextTable::new(["element", "RBE"]);
+    t2.row(["1 KB I-cache block".to_string(), icache_cost(1024).to_string()]);
+    t2.row(["2 KB I-cache block".to_string(), icache_cost(2048).to_string()]);
+    t2.row(["4 KB I-cache block".to_string(), icache_cost(4096).to_string()]);
+    t2.row(["write-cache line".to_string(), WRITE_CACHE_LINE.to_string()]);
+    t2.row(["prefetch line".to_string(), PREFETCH_LINE.to_string()]);
+    t2.row(["reorder-buffer entry".to_string(), ROB_ENTRY.to_string()]);
+    t2.row(["MSHR entry".to_string(), MSHR_ENTRY.to_string()]);
+    t2.row(["integer execution pipeline".to_string(), INTEGER_PIPELINE.to_string()]);
+    t2.row(["FPU add unit (1..5 cyc)".to_string(), format!("{}..{}", add_unit_cost(1), add_unit_cost(5))]);
+    t2.row([
+        "FPU multiply unit (1..5 cyc)".to_string(),
+        format!("{}..{}", multiply_unit_cost(1), multiply_unit_cost(5)),
+    ]);
+    t2.row([
+        "FPU divide unit (10..30 cyc)".to_string(),
+        format!("{}..{}", divide_unit_cost(10), divide_unit_cost(30)),
+    ]);
+    t2.row([
+        "FPU convert unit (1..5 cyc)".to_string(),
+        format!("{}..{}", convert_unit_cost(1), convert_unit_cost(5)),
+    ]);
+    println!("{}", t2.render());
+
+    println!("Derived whole-machine IPU costs (cost axis of Figures 4-8):");
+    let mut t3 = TextTable::new(["model", "single issue", "dual issue"]);
+    for m in MachineModel::ALL {
+        let s = ipu_cost(&m.config(IssueWidth::Single, LatencyModel::Fixed(17)));
+        let d = ipu_cost(&m.config(IssueWidth::Dual, LatencyModel::Fixed(17)));
+        t3.row([m.to_string(), s.to_string(), d.to_string()]);
+    }
+    println!("{}", t3.render());
+    println!(
+        "recommended FPU (5.11) cost: {}",
+        fpu_cost(&FpuConfig::recommended())
+    );
+}

@@ -1,0 +1,66 @@
+//! Trace capture and replay — the classic trace-driven workflow (§4.1):
+//! collect once, simulate many times.
+//!
+//! ```text
+//! # capture a kernel's dynamic trace to a file
+//! cargo run --release -p aurora-bench --bin trace_tool -- record espresso /tmp/espresso.trc
+//!
+//! # replay it against all three machine models
+//! cargo run --release -p aurora-bench --bin trace_tool -- replay /tmp/espresso.trc
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use aurora_bench::harness::scale_from_args;
+use aurora_core::{IssueWidth, MachineModel, Simulator};
+use aurora_isa::{read_trace, TraceWriter};
+use aurora_mem::LatencyModel;
+use aurora_workloads::{FpBenchmark, IntBenchmark};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("record") => record(&args[2], &args[3]),
+        Some("replay") => replay(&args[2]),
+        _ => {
+            eprintln!("usage: trace_tool record <benchmark> <file> | replay <file>");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn record(bench: &str, path: &str) {
+    let scale = scale_from_args();
+    let workload = bench
+        .parse::<IntBenchmark>()
+        .map(|b| b.workload(scale))
+        .or_else(|_| bench.parse::<FpBenchmark>().map(|b| b.workload(scale)))
+        .unwrap_or_else(|_| {
+            eprintln!("unknown benchmark `{bench}`");
+            std::process::exit(2);
+        });
+    let file = File::create(path).expect("create trace file");
+    let mut writer = TraceWriter::new(BufWriter::new(file)).expect("write header");
+    workload
+        .run_traced(|op| writer.write(&op).expect("write record"))
+        .expect("kernel runs");
+    let n = writer.written();
+    writer.finish().expect("flush");
+    println!("recorded {n} instructions of {bench} to {path}");
+}
+
+fn replay(path: &str) {
+    println!("{:<10} {:>12} {:>8}", "model", "cycles", "CPI");
+    for model in MachineModel::ALL {
+        let file = File::open(path).expect("open trace file");
+        let reader = read_trace(BufReader::new(file)).expect("valid trace header");
+        let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let mut sim = Simulator::new(&cfg);
+        for op in reader {
+            sim.feed(op.expect("valid record"));
+        }
+        let stats = sim.finish();
+        println!("{:<10} {:>12} {:>8.3}", model.to_string(), stats.cycles, stats.cpi());
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared experiment-harness utilities: streaming simulation runners and
+//! plain-text table/series formatting used by every `src/bin/` experiment.
+
+use aurora_core::{MachineConfig, SimStats, Simulator};
+use aurora_workloads::{Scale, Workload};
+
+/// Runs `workload` through a simulator for `cfg`, streaming the trace
+/// (no trace materialisation, so `Scale::Full` runs fit in memory).
+///
+/// # Panics
+///
+/// Panics if the kernel fails to run — kernels are compiled-in and a
+/// failure is a bug, not an operational error.
+pub fn run(cfg: &MachineConfig, workload: &Workload) -> SimStats {
+    let mut sim = Simulator::new(cfg);
+    workload
+        .run_traced(|op| sim.feed(op))
+        .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()));
+    sim.finish()
+}
+
+/// Runs a benchmark list against one config, one thread per workload
+/// (each simulation is independent and deterministic), returning
+/// `(name, stats)` in workload order.
+pub fn run_suite<'w>(
+    cfg: &MachineConfig,
+    workloads: &'w [Workload],
+) -> Vec<(&'w str, SimStats)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| scope.spawn(move || (w.name(), run(cfg, w))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation thread")).collect()
+    })
+}
+
+/// Builds the full integer suite at `scale`.
+pub fn integer_suite(scale: Scale) -> Vec<Workload> {
+    aurora_workloads::IntBenchmark::ALL
+        .into_iter()
+        .map(|b| b.workload(scale))
+        .collect()
+}
+
+/// Builds the full floating-point suite at `scale`.
+pub fn fp_suite(scale: Scale) -> Vec<Workload> {
+    aurora_workloads::FpBenchmark::ALL
+        .into_iter()
+        .map(|b| b.workload(scale))
+        .collect()
+}
+
+/// Reads the scale from argv (`--scale test|small|full`), default small.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--scale" {
+            return match pair[1].as_str() {
+                "test" => Scale::Test,
+                "small" => Scale::Small,
+                "full" => Scale::Full,
+                other => panic!("unknown scale `{other}` (use test|small|full)"),
+            };
+        }
+    }
+    Scale::Small
+}
+
+/// Whether a flag like `--ablation` is present on the command line.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// A minimal fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+/// Formats a CPI value with three decimals.
+pub fn cpi(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_core::{IssueWidth, MachineModel};
+    use aurora_mem::LatencyModel;
+    use aurora_workloads::IntBenchmark;
+
+    #[test]
+    fn run_produces_stats() {
+        let cfg = MachineModel::Baseline.config(IssueWidth::Single, LatencyModel::Fixed(17));
+        let w = IntBenchmark::Eqntott.workload(Scale::Test);
+        let stats = run(&cfg, &w);
+        assert!(stats.instructions > 10_000);
+        assert!(stats.cpi() > 0.5);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["model", "espresso", "li"]);
+        t.row(["small", "1.23", "4.5"]);
+        t.row(["baseline", "0.9", "10.01"]);
+        let s = t.render();
+        assert!(s.contains("model"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34");
+        assert_eq!(cpi(1.23456), "1.235");
+    }
+}
+
+/// Minimum, average and maximum CPI over a suite run (the Figure 4/5/7
+/// vertical bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiRange {
+    /// Lowest CPI in the suite.
+    pub min: f64,
+    /// Arithmetic mean CPI.
+    pub avg: f64,
+    /// Highest CPI in the suite.
+    pub max: f64,
+}
+
+/// Summarises per-benchmark stats into a [`CpiRange`].
+///
+/// # Panics
+///
+/// Panics on an empty result set.
+pub fn cpi_range(results: &[(&str, aurora_core::SimStats)]) -> CpiRange {
+    assert!(!results.is_empty());
+    let cpis: Vec<f64> = results.iter().map(|(_, s)| s.cpi()).collect();
+    CpiRange {
+        min: cpis.iter().copied().fold(f64::INFINITY, f64::min),
+        avg: cpis.iter().sum::<f64>() / cpis.len() as f64,
+        max: cpis.iter().copied().fold(0.0, f64::max),
+    }
+}

@@ -1,0 +1,5 @@
+//! Shared harness utilities for regenerating every table and figure of the
+//! paper. The binaries under `src/bin/` each reproduce one experiment; see
+//! `DESIGN.md` for the experiment index.
+
+pub mod harness;

@@ -1,0 +1,56 @@
+//! Cycle-level simulator of the Aurora III superscalar GaAs microprocessor
+//! from *Resource Allocation in a High Clock Rate Microprocessor*
+//! (Upton, Huff, Mudge & Brown, ASPLOS 1994).
+//!
+//! The crate provides:
+//!
+//! * [`MachineConfig`] / [`MachineModel`] — the paper's small, baseline and
+//!   large resource-allocation models (Table 1) plus every knob the study
+//!   sweeps: issue width, cache sizes, write-cache lines, reorder-buffer
+//!   entries, prefetch buffers, MSHRs, secondary memory latency and the
+//!   full FPU design space ([`FpuConfig`], §5.7–§5.11),
+//! * [`Simulator`] — a trace-driven cycle-level model of the IPU (fetch
+//!   with pre-decoded pairs and branch folding, dual issue, scoreboard,
+//!   reorder buffer, LSU with non-blocking external data cache and
+//!   coalescing write cache, stream-buffer prefetching, split-transaction
+//!   BIU) coupled to the decoupled FPU,
+//! * [`SimStats`] — CPI plus the stall-cycle breakdown of Figure 6 and
+//!   per-structure statistics for every table in the paper.
+//!
+//! # Quick start
+//!
+//! ```
+//! use aurora_core::{simulate_program, IssueWidth, MachineModel};
+//! use aurora_isa::Assembler;
+//! use aurora_mem::LatencyModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Assembler::new().assemble(
+//!     r#"
+//!     .text
+//!         li $t0, 1000
+//!     loop:
+//!         addiu $t0, $t0, -1
+//!         bne $t0, $zero, loop
+//!         nop
+//!         break
+//!     "#,
+//! )?;
+//! let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+//! let stats = simulate_program(&cfg, &program, 1_000_000)?;
+//! println!("CPI = {:.3}", stats.cpi());
+//! assert!(stats.cpi() > 0.4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod fpu;
+mod rob;
+mod sim;
+mod stats;
+
+pub use config::{FpIssuePolicy, FpuConfig, IssueWidth, MachineConfig, MachineModel};
+pub use rob::ReorderBuffer;
+pub use sim::{simulate, simulate_program, IssueRecord, Simulator};
+pub use stats::{SimStats, StallBreakdown, StallKind};

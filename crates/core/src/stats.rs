@@ -1,0 +1,280 @@
+//! Simulation statistics: cycles, CPI, and the stall-cycle breakdown of
+//! paper Figure 6.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use aurora_mem::{BiuStats, CacheStats, MshrStats, StreamStats, WriteCacheStats};
+
+/// The IPU stall conditions the paper attributes cycles to (§5.3), plus
+/// the two FPU-coupling stalls relevant for floating-point workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Waiting for instructions (instruction-cache miss service).
+    ICache,
+    /// The result of a load was referenced before the LSU returned it.
+    Load,
+    /// The reorder buffer was full.
+    RobFull,
+    /// The LSU could not accept: port busy, MSHRs exhausted, or the data
+    /// busses were being used to fill the cache.
+    LsuBusy,
+    /// The FPU instruction/load/store queue was full.
+    FpQueue,
+    /// Waiting for an FPU result (`mfc1`, FP condition for a branch).
+    FpResult,
+    /// Scoreboard interlock on a non-load integer producer (HI/LO results
+    /// of multiply/divide).
+    Interlock,
+}
+
+impl StallKind {
+    /// All stall kinds, in Figure 6's order then the extensions.
+    pub const ALL: [StallKind; 7] = [
+        StallKind::ICache,
+        StallKind::Load,
+        StallKind::RobFull,
+        StallKind::LsuBusy,
+        StallKind::FpQueue,
+        StallKind::FpResult,
+        StallKind::Interlock,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::ICache => "ICache",
+            StallKind::Load => "Load",
+            StallKind::RobFull => "ROB-full",
+            StallKind::LsuBusy => "LSU-busy",
+            StallKind::FpQueue => "FP-queue",
+            StallKind::FpResult => "FP-result",
+            StallKind::Interlock => "Interlock",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallKind::ICache => 0,
+            StallKind::Load => 1,
+            StallKind::RobFull => 2,
+            StallKind::LsuBusy => 3,
+            StallKind::FpQueue => 4,
+            StallKind::FpResult => 5,
+            StallKind::Interlock => 6,
+        }
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stall cycles attributed per [`StallKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown([u64; 7]);
+
+impl StallBreakdown {
+    /// Total stall cycles across all kinds.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Iterates over `(kind, cycles)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StallKind, u64)> + '_ {
+        StallKind::ALL.into_iter().map(|k| (k, self.0[k.index()]))
+    }
+}
+
+impl Index<StallKind> for StallBreakdown {
+    type Output = u64;
+
+    fn index(&self, kind: StallKind) -> &u64 {
+        &self.0[kind.index()]
+    }
+}
+
+impl IndexMut<StallKind> for StallBreakdown {
+    fn index_mut(&mut self, kind: StallKind) -> &mut u64 {
+        &mut self.0[kind.index()]
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total simulated cycles (including pipeline drain at the end).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Whole-pipeline stall cycles, attributed to their binding cause.
+    pub stalls: StallBreakdown,
+    /// Instruction-cache hits and misses.
+    pub icache: CacheStats,
+    /// Data-cache hits and misses (loads and stores).
+    pub dcache: CacheStats,
+    /// Stream-buffer probes for the instruction stream.
+    pub istream: StreamStats,
+    /// Stream-buffer probes for the data stream.
+    pub dstream: StreamStats,
+    /// Write-cache behaviour.
+    pub write_cache: WriteCacheStats,
+    /// MSHR file behaviour.
+    pub mshr: MshrStats,
+    /// Bus interface transactions.
+    pub biu: BiuStats,
+    /// Instructions executed in the FPU.
+    pub fp_instructions: u64,
+    /// FP instructions the FPU issued in pairs (dual-issue policy only).
+    pub fp_dual_issues: u64,
+    /// Taken-branch fetches that were folded (zero-bubble).
+    pub folded_branches: u64,
+    /// Taken-branch fetches that could not be folded.
+    pub unfolded_branches: u64,
+    /// Instructions issued as the second member of a dual-issue pair.
+    pub dual_issues: u64,
+}
+
+impl SimStats {
+    /// Cycles per instruction — the paper's primary metric.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// CPI penalty contributed by one stall kind (Figure 6's y axis).
+    pub fn stall_cpi(&self, kind: StallKind) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.stalls[kind] as f64 / self.instructions as f64
+    }
+
+    /// Fraction of dynamic instructions that issued as the second half of
+    /// a pair (dual-issue utilisation).
+    pub fn dual_issue_rate(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.dual_issues as f64 / self.instructions as f64
+    }
+}
+
+impl SimStats {
+    /// Column headers matching [`SimStats::csv_row`], for plotting scripts.
+    pub fn csv_header() -> &'static str {
+        "cycles,instructions,cpi,icache_hit,dcache_hit,ipf_hit,dpf_hit,         wc_hit,wc_traffic,dual_rate,stall_icache,stall_load,stall_rob,         stall_lsu,stall_fpq,stall_fpr,stall_interlock"
+    }
+
+    /// One comma-separated row of the headline metrics.
+    pub fn csv_row(&self) -> String {
+        let s = |k: StallKind| format!("{:.4}", self.stall_cpi(k));
+        format!(
+            "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{},{}",
+            self.cycles,
+            self.instructions,
+            self.cpi(),
+            self.icache.hit_rate(),
+            self.dcache.hit_rate(),
+            self.istream.hit_rate(),
+            self.dstream.hit_rate(),
+            self.write_cache.hit_rate(),
+            self.write_cache.traffic_ratio(),
+            self.dual_issue_rate(),
+            s(StallKind::ICache),
+            s(StallKind::Load),
+            s(StallKind::RobFull),
+            s(StallKind::LsuBusy),
+            s(StallKind::FpQueue),
+            s(StallKind::FpResult),
+            s(StallKind::Interlock),
+        )
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} instructions in {} cycles: CPI {:.3}",
+            self.instructions,
+            self.cycles,
+            self.cpi()
+        )?;
+        writeln!(f, "  I$: {}", self.icache)?;
+        writeln!(f, "  D$: {}", self.dcache)?;
+        writeln!(f, "  I-prefetch: {}", self.istream)?;
+        writeln!(f, "  D-prefetch: {}", self.dstream)?;
+        writeln!(f, "  write cache: {}", self.write_cache)?;
+        writeln!(f, "  MSHR: {}", self.mshr)?;
+        writeln!(f, "  BIU: {}", self.biu)?;
+        write!(f, "  stalls:")?;
+        for (kind, cycles) in self.stalls.iter() {
+            if cycles > 0 {
+                write!(f, " {}={:.3}", kind, cycles as f64 / self.instructions.max(1) as f64)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_indexing() {
+        let mut b = StallBreakdown::default();
+        b[StallKind::Load] += 10;
+        b[StallKind::ICache] += 5;
+        assert_eq!(b[StallKind::Load], 10);
+        assert_eq!(b.total(), 15);
+        let collected: Vec<_> = b.iter().collect();
+        assert_eq!(collected[0], (StallKind::ICache, 5));
+        assert_eq!(collected[1], (StallKind::Load, 10));
+    }
+
+    #[test]
+    fn cpi_math() {
+        let stats = SimStats { cycles: 150, instructions: 100, ..Default::default() };
+        assert!((stats.cpi() - 1.5).abs() < 1e-12);
+        let empty = SimStats::default();
+        assert_eq!(empty.cpi(), 0.0);
+    }
+
+    #[test]
+    fn stall_cpi_normalises_by_instructions() {
+        let mut stats = SimStats { cycles: 200, instructions: 100, ..Default::default() };
+        stats.stalls[StallKind::LsuBusy] = 50;
+        assert!((stats.stall_cpi(StallKind::LsuBusy) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_cpi() {
+        let stats = SimStats { cycles: 300, instructions: 200, ..Default::default() };
+        assert!(stats.to_string().contains("CPI 1.500"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let stats = SimStats { cycles: 10, instructions: 5, ..Default::default() };
+        let header_cols = SimStats::csv_header().split(',').count();
+        let row_cols = stats.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(stats.csv_row().starts_with("10,5,2.0000"));
+    }
+
+    #[test]
+    fn all_kinds_have_unique_indices() {
+        let mut seen = [false; 7];
+        for k in StallKind::ALL {
+            assert!(!seen[k.index()], "{k} duplicated");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,305 @@
+//! The Register Bit Equivalent (RBE) area-cost model of paper Table 2.
+//!
+//! Mulder's RBE model (the paper's reference 11) normalises the area of microarchitectural
+//! components to the area of a one-bit static latch (≈16 transistors /
+//! 3600 µm² in the target GaAs DCFL process). The paper's Table 2 costs,
+//! transcribed here, price every structure the study varies. The external
+//! data cache is explicitly *excluded*: die-size limits placed it on
+//! separate chips (§4.2).
+//!
+//! ```
+//! use aurora_core::{IssueWidth, MachineModel};
+//! use aurora_cost::{machine_cost, Rbe};
+//! use aurora_mem::LatencyModel;
+//!
+//! let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+//! let cost = machine_cost(&cfg);
+//! // The second pipeline alone is 8192 RBE (§5.1).
+//! let single = MachineModel::Baseline.config(IssueWidth::Single, LatencyModel::Fixed(17));
+//! assert_eq!(cost - machine_cost(&single), Rbe(8192));
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use aurora_core::{FpuConfig, IssueWidth, MachineConfig};
+
+/// An area in register-bit equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rbe(pub u64);
+
+impl Rbe {
+    /// The value as a float, convenient for plotting.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Rbe {
+    type Output = Rbe;
+
+    fn add(self, rhs: Rbe) -> Rbe {
+        Rbe(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rbe {
+    fn add_assign(&mut self, rhs: Rbe) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Rbe {
+    type Output = Rbe;
+
+    fn sub(self, rhs: Rbe) -> Rbe {
+        Rbe(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Rbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} RBE", self.0)
+    }
+}
+
+/// Cost of one integer execution pipeline (Table 2).
+pub const INTEGER_PIPELINE: Rbe = Rbe(8192);
+/// Cost of one write-cache line (Table 2).
+pub const WRITE_CACHE_LINE: Rbe = Rbe(320);
+/// Cost of one prefetch line (Table 2).
+pub const PREFETCH_LINE: Rbe = Rbe(320);
+/// Cost of one reorder-buffer entry (Table 2).
+pub const ROB_ENTRY: Rbe = Rbe(200);
+/// Cost of one MSHR entry (Table 2).
+pub const MSHR_ENTRY: Rbe = Rbe(50);
+/// Cost of the FPU data resources — register file and scoreboard (Table 2).
+pub const FPU_DATA_BLOCK: Rbe = Rbe(4000);
+/// Cost of one FPU instruction-queue entry (Table 2).
+pub const FPU_INSTR_QUEUE_ENTRY: Rbe = Rbe(50);
+/// Cost of one FPU data-queue (load/store) entry (Table 2).
+pub const FPU_DATA_QUEUE_ENTRY: Rbe = Rbe(80);
+
+/// Instruction-cache block cost (Table 2: 8 000 / 12 000 / 20 000 RBE for
+/// 1 / 2 / 4 KB — sub-linear because decode/sense overhead amortises).
+///
+/// # Panics
+///
+/// Panics for sizes other than 1, 2 or 4 KB; the paper prices only these.
+pub fn icache_cost(bytes: u32) -> Rbe {
+    match bytes {
+        1024 => Rbe(8_000),
+        2048 => Rbe(12_000),
+        4096 => Rbe(20_000),
+        other => panic!("Table 2 prices 1/2/4 KB instruction caches, not {other} bytes"),
+    }
+}
+
+/// Linearly interpolates a Table 2 latency-dependent unit cost: the paper
+/// gives the cost at the fastest and slowest latency of each range (more
+/// pipeline/parallel hardware buys lower latency).
+fn unit_cost(latency: u32, lat_lo: u32, lat_hi: u32, cost_at_lo: u64, cost_at_hi: u64) -> Rbe {
+    assert!(
+        (lat_lo..=lat_hi).contains(&latency),
+        "latency {latency} outside Table 2 range {lat_lo}..={lat_hi}"
+    );
+    let span = (lat_hi - lat_lo) as f64;
+    let frac = (latency - lat_lo) as f64 / span;
+    let cost = cost_at_lo as f64 + frac * (cost_at_hi as f64 - cost_at_lo as f64);
+    Rbe(cost.round() as u64)
+}
+
+/// FPU add-unit cost: 1–5 cycles ↔ 5 000–1 250 RBE.
+pub fn add_unit_cost(latency: u32) -> Rbe {
+    unit_cost(latency, 1, 5, 5_000, 1_250)
+}
+
+/// FPU multiply-unit cost: 1–5 cycles ↔ 6 875–2 500 RBE.
+pub fn multiply_unit_cost(latency: u32) -> Rbe {
+    unit_cost(latency, 1, 5, 6_875, 2_500)
+}
+
+/// FPU divide-unit cost: 10–30 cycles ↔ 2 500–625 RBE.
+pub fn divide_unit_cost(latency: u32) -> Rbe {
+    unit_cost(latency, 10, 30, 2_500, 625)
+}
+
+/// FPU conversion-unit cost: 1–5 cycles ↔ 2 500–1 250 RBE.
+pub fn convert_unit_cost(latency: u32) -> Rbe {
+    unit_cost(latency, 1, 5, 2_500, 1_250)
+}
+
+/// Total IPU cost of a machine configuration: instruction cache, write
+/// cache, prefetch lines, reorder buffer, MSHRs and execution pipelines.
+/// The external data cache is excluded per §4.2.
+pub fn ipu_cost(cfg: &MachineConfig) -> Rbe {
+    let mut total = icache_cost(cfg.icache_bytes);
+    total += Rbe(WRITE_CACHE_LINE.0 * cfg.write_cache_lines as u64);
+    if cfg.prefetch_enabled {
+        let lines = (cfg.prefetch_buffers * cfg.prefetch_depth) as u64;
+        total += Rbe(PREFETCH_LINE.0 * lines);
+    }
+    total += Rbe(ROB_ENTRY.0 * cfg.rob_entries as u64);
+    total += Rbe(MSHR_ENTRY.0 * cfg.mshr_entries as u64);
+    let pipes = match cfg.issue_width {
+        IssueWidth::Single => 1,
+        IssueWidth::Dual => 2,
+    };
+    total += Rbe(INTEGER_PIPELINE.0 * pipes);
+    total
+}
+
+/// Total FPU cost: data resources, queues and latency-priced units.
+pub fn fpu_cost(fpu: &FpuConfig) -> Rbe {
+    let mut total = FPU_DATA_BLOCK;
+    total += Rbe(FPU_INSTR_QUEUE_ENTRY.0 * fpu.instr_queue as u64);
+    total += Rbe(FPU_DATA_QUEUE_ENTRY.0 * (fpu.load_queue + fpu.store_queue) as u64);
+    total += add_unit_cost(fpu.add_latency);
+    total += multiply_unit_cost(fpu.mul_latency);
+    total += divide_unit_cost(fpu.div_latency);
+    total += convert_unit_cost(fpu.cvt_latency);
+    total += Rbe(ROB_ENTRY.0 * fpu.rob_entries as u64);
+    total
+}
+
+/// IPU cost of the machine (the cost axis of Figures 4, 5, 7 and 8).
+pub fn machine_cost(cfg: &MachineConfig) -> Rbe {
+    ipu_cost(cfg)
+}
+
+/// Complete system cost (IPU + FPU), for FPU-inclusive studies.
+pub fn system_cost(cfg: &MachineConfig) -> Rbe {
+    ipu_cost(cfg) + fpu_cost(&cfg.fpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aurora_core::MachineModel;
+    use aurora_mem::LatencyModel;
+
+    fn model(m: MachineModel, w: IssueWidth) -> MachineConfig {
+        m.config(w, LatencyModel::Fixed(17))
+    }
+
+    #[test]
+    fn icache_table2_values() {
+        assert_eq!(icache_cost(1024), Rbe(8_000));
+        assert_eq!(icache_cost(2048), Rbe(12_000));
+        assert_eq!(icache_cost(4096), Rbe(20_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 2")]
+    fn unpriced_icache_size_panics() {
+        icache_cost(8192);
+    }
+
+    #[test]
+    fn unit_cost_endpoints_match_table2() {
+        assert_eq!(add_unit_cost(1), Rbe(5_000));
+        assert_eq!(add_unit_cost(5), Rbe(1_250));
+        assert_eq!(multiply_unit_cost(1), Rbe(6_875));
+        assert_eq!(multiply_unit_cost(5), Rbe(2_500));
+        assert_eq!(divide_unit_cost(10), Rbe(2_500));
+        assert_eq!(divide_unit_cost(30), Rbe(625));
+        assert_eq!(convert_unit_cost(1), Rbe(2_500));
+        assert_eq!(convert_unit_cost(5), Rbe(1_250));
+    }
+
+    #[test]
+    fn unit_cost_is_monotone_decreasing() {
+        for l in 1..5 {
+            assert!(add_unit_cost(l) > add_unit_cost(l + 1));
+            assert!(multiply_unit_cost(l) > multiply_unit_cost(l + 1));
+            assert!(convert_unit_cost(l) > convert_unit_cost(l + 1));
+        }
+        for l in 10..30 {
+            assert!(divide_unit_cost(l) >= divide_unit_cost(l + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside Table 2 range")]
+    fn out_of_range_latency_panics() {
+        add_unit_cost(6);
+    }
+
+    #[test]
+    fn second_pipeline_costs_8192() {
+        for m in MachineModel::ALL {
+            let dual = ipu_cost(&model(m, IssueWidth::Dual));
+            let single = ipu_cost(&model(m, IssueWidth::Single));
+            assert_eq!(dual - single, INTEGER_PIPELINE);
+        }
+    }
+
+    #[test]
+    fn second_pipe_on_large_model_costs_about_20_percent() {
+        // §5.1: "the large model with dual issue achieves the best
+        // performance by 12.7%, but with a hardware cost increase of
+        // 20.4%" — the 8192-RBE second pipeline over the large model.
+        let single = ipu_cost(&model(MachineModel::Large, IssueWidth::Single)).as_f64();
+        let increase = INTEGER_PIPELINE.as_f64() / single;
+        assert!(
+            (0.18..0.23).contains(&increase),
+            "second pipe: {:.1}%",
+            100.0 * increase
+        );
+    }
+
+    #[test]
+    fn model_costs_are_ordered() {
+        let s = ipu_cost(&model(MachineModel::Small, IssueWidth::Single));
+        let b = ipu_cost(&model(MachineModel::Baseline, IssueWidth::Single));
+        let l = ipu_cost(&model(MachineModel::Large, IssueWidth::Single));
+        assert!(s < b && b < l);
+        // §5.1: the single-issue base model has cost similar to the dual
+        // small model.
+        let dual_small = ipu_cost(&model(MachineModel::Small, IssueWidth::Dual));
+        let ratio = b.as_f64() / dual_small.as_f64();
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn prefetch_removal_reduces_cost_by_line_count() {
+        let with = model(MachineModel::Baseline, IssueWidth::Dual);
+        let mut without = with.clone();
+        without.prefetch_enabled = false;
+        let diff = ipu_cost(&with) - ipu_cost(&without);
+        assert_eq!(diff, Rbe(320 * 4 * 3)); // 4 buffers x 3 lines
+    }
+
+    #[test]
+    fn baseline_prefetch_is_modest_fraction_of_icache() {
+        // §5.2: "for the baseline configuration, the prefetch buffers are
+        // only 20% of the instruction cache size" (by bytes; by RBE the
+        // ratio is larger since SRAM is denser than buffers).
+        let cfg = model(MachineModel::Baseline, IssueWidth::Dual);
+        let buffer_bytes = cfg.prefetch_buffers * cfg.prefetch_depth * cfg.line_bytes as usize;
+        let frac = buffer_bytes as f64 / cfg.icache_bytes as f64;
+        assert!((0.15..=0.30).contains(&frac), "byte fraction {frac}");
+    }
+
+    #[test]
+    fn recommended_fpu_cost_is_reasonable() {
+        let fpu = FpuConfig::recommended();
+        let c = fpu_cost(&fpu);
+        // 4000 + 5*50 + 5*80 + add(3)=3125 + mul(5)=2500 + div(19)=1656
+        // + cvt(2)=2188 + rob 6*200 = 15419ish
+        assert!((14_000..17_000).contains(&c.0), "{c}");
+        let sys = system_cost(&model(MachineModel::Baseline, IssueWidth::Dual));
+        assert!(sys > machine_cost(&model(MachineModel::Baseline, IssueWidth::Dual)));
+    }
+
+    #[test]
+    fn rbe_arithmetic_and_display() {
+        let a = Rbe(100) + Rbe(50);
+        assert_eq!(a, Rbe(150));
+        let mut b = a;
+        b += Rbe(10);
+        assert_eq!(b - a, Rbe(10));
+        assert_eq!(a.to_string(), "150 RBE");
+        assert_eq!(a.as_f64(), 150.0);
+    }
+}

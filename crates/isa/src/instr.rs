@@ -1,0 +1,614 @@
+//! The [`Instruction`] type and its standard MIPS binary encoding.
+
+use std::fmt;
+
+use crate::opcode::{Opcode, OpcodeClass};
+use crate::reg::{FReg, Reg};
+
+const FMT_S: u32 = 0x10;
+const FMT_D: u32 = 0x11;
+const FMT_W: u32 = 0x14;
+
+/// A single decoded instruction: an [`Opcode`] plus its operand fields.
+///
+/// This is a passive compound value in the C spirit, so the fields are
+/// public; only the fields relevant to [`Opcode::class`] are meaningful and
+/// the rest are left at their defaults. Use the class-specific constructors
+/// ([`Instruction::alu_r`], [`Instruction::mem`], …) to build well-formed
+/// values, and [`Instruction::encode`]/[`Instruction::decode`] to convert
+/// to and from the 32-bit MIPS machine word.
+///
+/// ```
+/// use aurora_isa::{Instruction, Opcode, Reg};
+///
+/// let add = Instruction::alu_r(Opcode::Addu, Reg::T0, Reg::T1, Reg::T2);
+/// let word = add.encode();
+/// assert_eq!(Instruction::decode(word).unwrap(), add);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The operation.
+    pub op: Opcode,
+    /// Integer destination register (R-type).
+    pub rd: Reg,
+    /// First integer source register.
+    pub rs: Reg,
+    /// Second integer source / I-type destination register.
+    pub rt: Reg,
+    /// FP destination register.
+    pub fd: FReg,
+    /// First FP source register.
+    pub fs: FReg,
+    /// Second FP source register.
+    pub ft: FReg,
+    /// Shift amount for immediate shifts.
+    pub shamt: u8,
+    /// Sign-extended 16-bit immediate (ALU immediate, load/store offset,
+    /// branch word offset relative to the delay slot).
+    pub imm: i16,
+    /// 26-bit jump target, in words.
+    pub target: u32,
+}
+
+impl Default for Instruction {
+    fn default() -> Self {
+        Instruction {
+            op: Opcode::Nop,
+            rd: Reg::ZERO,
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            fd: FReg::new(0).unwrap(),
+            fs: FReg::new(0).unwrap(),
+            ft: FReg::new(0).unwrap(),
+            shamt: 0,
+            imm: 0,
+            target: 0,
+        }
+    }
+}
+
+impl Instruction {
+    /// A `nop`.
+    pub fn nop() -> Instruction {
+        Instruction::default()
+    }
+
+    /// Three-register ALU instruction, e.g. `addu $rd, $rs, $rt`.
+    pub fn alu_r(op: Opcode, rd: Reg, rs: Reg, rt: Reg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::AluR);
+        Instruction { op, rd, rs, rt, ..Default::default() }
+    }
+
+    /// Immediate shift, e.g. `sll $rd, $rt, shamt`.
+    pub fn shift(op: Opcode, rd: Reg, rt: Reg, shamt: u8) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::Shift);
+        debug_assert!(shamt < 32);
+        Instruction { op, rd, rt, shamt, ..Default::default() }
+    }
+
+    /// Variable shift, e.g. `sllv $rd, $rt, $rs`.
+    pub fn shift_v(op: Opcode, rd: Reg, rt: Reg, rs: Reg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::ShiftV);
+        Instruction { op, rd, rt, rs, ..Default::default() }
+    }
+
+    /// HI/LO multiply or divide, e.g. `mult $rs, $rt`.
+    pub fn mul_div(op: Opcode, rs: Reg, rt: Reg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::MulDiv);
+        Instruction { op, rs, rt, ..Default::default() }
+    }
+
+    /// Move from HI/LO (`mfhi $rd`) or to HI/LO (`mthi $rs`).
+    pub fn hi_lo(op: Opcode, r: Reg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::HiLo);
+        match op {
+            Opcode::Mfhi | Opcode::Mflo => Instruction { op, rd: r, ..Default::default() },
+            _ => Instruction { op, rs: r, ..Default::default() },
+        }
+    }
+
+    /// Immediate ALU instruction, e.g. `addiu $rt, $rs, imm`.
+    pub fn alu_i(op: Opcode, rt: Reg, rs: Reg, imm: i16) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::AluI);
+        Instruction { op, rt, rs, imm, ..Default::default() }
+    }
+
+    /// `lui $rt, imm`.
+    pub fn lui(rt: Reg, imm: i16) -> Instruction {
+        Instruction { op: Opcode::Lui, rt, imm, ..Default::default() }
+    }
+
+    /// Integer load or store, e.g. `lw $rt, imm($rs)`.
+    pub fn mem(op: Opcode, rt: Reg, base: Reg, imm: i16) -> Instruction {
+        debug_assert!(matches!(op.class(), OpcodeClass::Load | OpcodeClass::Store));
+        Instruction { op, rt, rs: base, imm, ..Default::default() }
+    }
+
+    /// FP load or store, e.g. `lwc1 $ft, imm($rs)`.
+    pub fn fp_mem(op: Opcode, ft: FReg, base: Reg, imm: i16) -> Instruction {
+        debug_assert!(matches!(op.class(), OpcodeClass::FpLoad | OpcodeClass::FpStore));
+        Instruction { op, ft, rs: base, imm, ..Default::default() }
+    }
+
+    /// Absolute jump, e.g. `j target` (target in words).
+    pub fn jump(op: Opcode, target: u32) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::Jump);
+        debug_assert!(target < (1 << 26));
+        Instruction { op, target, ..Default::default() }
+    }
+
+    /// Jump through register: `jr $rs` or `jalr $rd, $rs`.
+    pub fn jump_reg(op: Opcode, rd: Reg, rs: Reg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::JumpReg);
+        Instruction { op, rd, rs, ..Default::default() }
+    }
+
+    /// Two-register branch, e.g. `beq $rs, $rt, offset` (offset in words
+    /// relative to the delay slot).
+    pub fn branch_cmp(op: Opcode, rs: Reg, rt: Reg, imm: i16) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::BranchCmp);
+        Instruction { op, rs, rt, imm, ..Default::default() }
+    }
+
+    /// Compare-with-zero branch, e.g. `blez $rs, offset`.
+    pub fn branch_z(op: Opcode, rs: Reg, imm: i16) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::BranchZ);
+        Instruction { op, rs, imm, ..Default::default() }
+    }
+
+    /// FP condition branch, `bc1t offset` / `bc1f offset`.
+    pub fn branch_fp(op: Opcode, imm: i16) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::BranchFp);
+        Instruction { op, imm, ..Default::default() }
+    }
+
+    /// Three-register FP arithmetic, e.g. `add.d $fd, $fs, $ft`.
+    ///
+    /// `sqrt.s`/`sqrt.d` take a single source; pass it as `fs` and leave
+    /// `ft` as `$f0`.
+    pub fn fp_arith3(op: Opcode, fd: FReg, fs: FReg, ft: FReg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::FpArith3);
+        Instruction { op, fd, fs, ft, ..Default::default() }
+    }
+
+    /// Two-register FP arithmetic or conversion, e.g. `cvt.d.w $fd, $fs`.
+    pub fn fp_arith2(op: Opcode, fd: FReg, fs: FReg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::FpArith2);
+        Instruction { op, fd, fs, ..Default::default() }
+    }
+
+    /// FP compare, e.g. `c.lt.d $fs, $ft`.
+    pub fn fp_compare(op: Opcode, fs: FReg, ft: FReg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::FpCompare);
+        Instruction { op, fs, ft, ..Default::default() }
+    }
+
+    /// `mfc1 $rt, $fs` / `mtc1 $rt, $fs`.
+    pub fn fp_move(op: Opcode, rt: Reg, fs: FReg) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::FpMove);
+        Instruction { op, rt, fs, ..Default::default() }
+    }
+
+    /// `syscall` or `break`.
+    pub fn system(op: Opcode) -> Instruction {
+        debug_assert_eq!(op.class(), OpcodeClass::System);
+        Instruction { op, ..Default::default() }
+    }
+
+    /// Encodes this instruction into its 32-bit MIPS machine word.
+    pub fn encode(&self) -> u32 {
+        use Opcode::*;
+        let rs = self.rs.number() as u32;
+        let rt = self.rt.number() as u32;
+        let rd = self.rd.number() as u32;
+        let fs = self.fs.number() as u32;
+        let ft = self.ft.number() as u32;
+        let fd = self.fd.number() as u32;
+        let sh = self.shamt as u32;
+        let imm = self.imm as u16 as u32;
+
+        let r_type = |funct: u32| (rs << 21) | (rt << 16) | (rd << 11) | (sh << 6) | funct;
+        let i_type = |op: u32| (op << 26) | (rs << 21) | (rt << 16) | imm;
+        let cop1 = |fmt: u32, funct: u32| {
+            (0x11 << 26) | (fmt << 21) | (ft << 16) | (fs << 11) | (fd << 6) | funct
+        };
+        let cmp = |fmt: u32, funct: u32| (0x11 << 26) | (fmt << 21) | (ft << 16) | (fs << 11) | funct;
+
+        match self.op {
+            Add => r_type(0x20),
+            Addu => r_type(0x21),
+            Sub => r_type(0x22),
+            Subu => r_type(0x23),
+            And => r_type(0x24),
+            Or => r_type(0x25),
+            Xor => r_type(0x26),
+            Nor => r_type(0x27),
+            Slt => r_type(0x2A),
+            Sltu => r_type(0x2B),
+            Sll => r_type(0x00),
+            Srl => r_type(0x02),
+            Sra => r_type(0x03),
+            Sllv => r_type(0x04),
+            Srlv => r_type(0x06),
+            Srav => r_type(0x07),
+            Jr => r_type(0x08),
+            Jalr => r_type(0x09),
+            Syscall => r_type(0x0C),
+            Break => r_type(0x0D),
+            Mfhi => r_type(0x10),
+            Mthi => r_type(0x11),
+            Mflo => r_type(0x12),
+            Mtlo => r_type(0x13),
+            Mult => r_type(0x18),
+            Multu => r_type(0x19),
+            Div => r_type(0x1A),
+            Divu => r_type(0x1B),
+            Nop => 0,
+            Bltz => (1 << 26) | (rs << 21) | imm,
+            Bgez => (1 << 26) | (rs << 21) | (1 << 16) | imm,
+            J => (2 << 26) | self.target,
+            Jal => (3 << 26) | self.target,
+            Beq => i_type(4),
+            Bne => i_type(5),
+            Blez => i_type(6),
+            Bgtz => i_type(7),
+            Addi => i_type(8),
+            Addiu => i_type(9),
+            Slti => i_type(0xA),
+            Sltiu => i_type(0xB),
+            Andi => i_type(0xC),
+            Ori => i_type(0xD),
+            Xori => i_type(0xE),
+            Lui => i_type(0xF),
+            Lb => i_type(0x20),
+            Lh => i_type(0x21),
+            Lw => i_type(0x23),
+            Lbu => i_type(0x24),
+            Lhu => i_type(0x25),
+            Sb => i_type(0x28),
+            Sh => i_type(0x29),
+            Sw => i_type(0x2B),
+            Lwc1 => (0x31 << 26) | (rs << 21) | (ft << 16) | imm,
+            Ldc1 => (0x35 << 26) | (rs << 21) | (ft << 16) | imm,
+            Swc1 => (0x39 << 26) | (rs << 21) | (ft << 16) | imm,
+            Sdc1 => (0x3D << 26) | (rs << 21) | (ft << 16) | imm,
+            Mfc1 => (0x11 << 26) | (rt << 16) | (fs << 11),
+            Mtc1 => (0x11 << 26) | (4 << 21) | (rt << 16) | (fs << 11),
+            Bc1f => (0x11 << 26) | (8 << 21) | imm,
+            Bc1t => (0x11 << 26) | (8 << 21) | (1 << 16) | imm,
+            AddS => cop1(FMT_S, 0x00),
+            SubS => cop1(FMT_S, 0x01),
+            MulS => cop1(FMT_S, 0x02),
+            DivS => cop1(FMT_S, 0x03),
+            SqrtS => cop1(FMT_S, 0x04),
+            AbsS => cop1(FMT_S, 0x05),
+            MovS => cop1(FMT_S, 0x06),
+            NegS => cop1(FMT_S, 0x07),
+            AddD => cop1(FMT_D, 0x00),
+            SubD => cop1(FMT_D, 0x01),
+            MulD => cop1(FMT_D, 0x02),
+            DivD => cop1(FMT_D, 0x03),
+            SqrtD => cop1(FMT_D, 0x04),
+            AbsD => cop1(FMT_D, 0x05),
+            MovD => cop1(FMT_D, 0x06),
+            NegD => cop1(FMT_D, 0x07),
+            CvtSD => cop1(FMT_D, 0x20),
+            CvtSW => cop1(FMT_W, 0x20),
+            CvtDS => cop1(FMT_S, 0x21),
+            CvtDW => cop1(FMT_W, 0x21),
+            CvtWS => cop1(FMT_S, 0x24),
+            CvtWD => cop1(FMT_D, 0x24),
+            CEqS => cmp(FMT_S, 0x32),
+            CLtS => cmp(FMT_S, 0x3C),
+            CLeS => cmp(FMT_S, 0x3E),
+            CEqD => cmp(FMT_D, 0x32),
+            CLtD => cmp(FMT_D, 0x3C),
+            CLeD => cmp(FMT_D, 0x3E),
+        }
+    }
+
+    /// Decodes a 32-bit MIPS machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the word does not correspond to any
+    /// instruction in the supported subset. The all-zero word decodes to
+    /// [`Opcode::Nop`].
+    pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+        use Opcode::*;
+        if word == 0 {
+            return Ok(Instruction::nop());
+        }
+        let op = word >> 26;
+        let rs = Reg::new(((word >> 21) & 31) as u8).unwrap();
+        let rt = Reg::new(((word >> 16) & 31) as u8).unwrap();
+        let rd = Reg::new(((word >> 11) & 31) as u8).unwrap();
+        let shamt = ((word >> 6) & 31) as u8;
+        let funct = word & 0x3F;
+        let imm = (word & 0xFFFF) as u16 as i16;
+        let err = || DecodeError { word };
+
+        let instr = match op {
+            0 => {
+                let opc = match funct {
+                    0x20 => Add,
+                    0x21 => Addu,
+                    0x22 => Sub,
+                    0x23 => Subu,
+                    0x24 => And,
+                    0x25 => Or,
+                    0x26 => Xor,
+                    0x27 => Nor,
+                    0x2A => Slt,
+                    0x2B => Sltu,
+                    0x00 => Sll,
+                    0x02 => Srl,
+                    0x03 => Sra,
+                    0x04 => Sllv,
+                    0x06 => Srlv,
+                    0x07 => Srav,
+                    0x08 => Jr,
+                    0x09 => Jalr,
+                    0x0C => Syscall,
+                    0x0D => Break,
+                    0x10 => Mfhi,
+                    0x11 => Mthi,
+                    0x12 => Mflo,
+                    0x13 => Mtlo,
+                    0x18 => Mult,
+                    0x19 => Multu,
+                    0x1A => Div,
+                    0x1B => Divu,
+                    _ => return Err(err()),
+                };
+                Instruction { op: opc, rd, rs, rt, shamt, ..Default::default() }
+            }
+            1 => match rt.number() {
+                0 => Instruction::branch_z(Bltz, rs, imm),
+                1 => Instruction::branch_z(Bgez, rs, imm),
+                _ => return Err(err()),
+            },
+            2 => Instruction::jump(J, word & 0x03FF_FFFF),
+            3 => Instruction::jump(Jal, word & 0x03FF_FFFF),
+            4 => Instruction::branch_cmp(Beq, rs, rt, imm),
+            5 => Instruction::branch_cmp(Bne, rs, rt, imm),
+            6 => Instruction::branch_z(Blez, rs, imm),
+            7 => Instruction::branch_z(Bgtz, rs, imm),
+            8..=0xE => {
+                let opc = match op {
+                    8 => Addi,
+                    9 => Addiu,
+                    0xA => Slti,
+                    0xB => Sltiu,
+                    0xC => Andi,
+                    0xD => Ori,
+                    _ => Xori,
+                };
+                Instruction::alu_i(opc, rt, rs, imm)
+            }
+            0xF => Instruction::lui(rt, imm),
+            0x20 => Instruction::mem(Lb, rt, rs, imm),
+            0x21 => Instruction::mem(Lh, rt, rs, imm),
+            0x23 => Instruction::mem(Lw, rt, rs, imm),
+            0x24 => Instruction::mem(Lbu, rt, rs, imm),
+            0x25 => Instruction::mem(Lhu, rt, rs, imm),
+            0x28 => Instruction::mem(Sb, rt, rs, imm),
+            0x29 => Instruction::mem(Sh, rt, rs, imm),
+            0x2B => Instruction::mem(Sw, rt, rs, imm),
+            0x31 => Instruction::fp_mem(Lwc1, ft_of(word), rs, imm),
+            0x35 => Instruction::fp_mem(Ldc1, ft_of(word), rs, imm),
+            0x39 => Instruction::fp_mem(Swc1, ft_of(word), rs, imm),
+            0x3D => Instruction::fp_mem(Sdc1, ft_of(word), rs, imm),
+            0x11 => decode_cop1(word).ok_or_else(err)?,
+            _ => return Err(err()),
+        };
+        Ok(instr)
+    }
+}
+
+fn ft_of(word: u32) -> FReg {
+    FReg::new(((word >> 16) & 31) as u8).unwrap()
+}
+
+fn decode_cop1(word: u32) -> Option<Instruction> {
+    use Opcode::*;
+    let fmt = (word >> 21) & 31;
+    let rt = Reg::new(((word >> 16) & 31) as u8).unwrap();
+    let ft = FReg::new(((word >> 16) & 31) as u8).unwrap();
+    let fs = FReg::new(((word >> 11) & 31) as u8).unwrap();
+    let fd = FReg::new(((word >> 6) & 31) as u8).unwrap();
+    let funct = word & 0x3F;
+    let imm = (word & 0xFFFF) as u16 as i16;
+
+    match fmt {
+        0 => Some(Instruction::fp_move(Mfc1, rt, fs)),
+        4 => Some(Instruction::fp_move(Mtc1, rt, fs)),
+        8 => match (word >> 16) & 31 {
+            0 => Some(Instruction::branch_fp(Bc1f, imm)),
+            1 => Some(Instruction::branch_fp(Bc1t, imm)),
+            _ => None,
+        },
+        FMT_S | FMT_D | FMT_W => {
+            let opc = match (funct, fmt) {
+                (0x00, FMT_S) => AddS,
+                (0x00, FMT_D) => AddD,
+                (0x01, FMT_S) => SubS,
+                (0x01, FMT_D) => SubD,
+                (0x02, FMT_S) => MulS,
+                (0x02, FMT_D) => MulD,
+                (0x03, FMT_S) => DivS,
+                (0x03, FMT_D) => DivD,
+                (0x04, FMT_S) => SqrtS,
+                (0x04, FMT_D) => SqrtD,
+                (0x05, FMT_S) => AbsS,
+                (0x05, FMT_D) => AbsD,
+                (0x06, FMT_S) => MovS,
+                (0x06, FMT_D) => MovD,
+                (0x07, FMT_S) => NegS,
+                (0x07, FMT_D) => NegD,
+                (0x20, FMT_D) => CvtSD,
+                (0x20, FMT_W) => CvtSW,
+                (0x21, FMT_S) => CvtDS,
+                (0x21, FMT_W) => CvtDW,
+                (0x24, FMT_S) => CvtWS,
+                (0x24, FMT_D) => CvtWD,
+                (0x32, FMT_S) => CEqS,
+                (0x3C, FMT_S) => CLtS,
+                (0x3E, FMT_S) => CLeS,
+                (0x32, FMT_D) => CEqD,
+                (0x3C, FMT_D) => CLtD,
+                (0x3E, FMT_D) => CLeD,
+                _ => return None,
+            };
+            let instr = match opc.class() {
+                OpcodeClass::FpArith3 => Instruction::fp_arith3(opc, fd, fs, ft),
+                OpcodeClass::FpArith2 => Instruction::fp_arith2(opc, fd, fs),
+                OpcodeClass::FpCompare => Instruction::fp_compare(opc, fs, ft),
+                _ => unreachable!(),
+            };
+            Some(instr)
+        }
+        _ => None,
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OpcodeClass::*;
+        let m = self.op.mnemonic();
+        match self.op.class() {
+            AluR => write!(f, "{m} {}, {}, {}", self.rd, self.rs, self.rt),
+            Shift => write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.shamt),
+            ShiftV => write!(f, "{m} {}, {}, {}", self.rd, self.rt, self.rs),
+            MulDiv => write!(f, "{m} {}, {}", self.rs, self.rt),
+            HiLo => match self.op {
+                Opcode::Mfhi | Opcode::Mflo => write!(f, "{m} {}", self.rd),
+                _ => write!(f, "{m} {}", self.rs),
+            },
+            AluI => write!(f, "{m} {}, {}, {}", self.rt, self.rs, self.imm),
+            Lui => write!(f, "{m} {}, {}", self.rt, self.imm),
+            Load | Store => write!(f, "{m} {}, {}({})", self.rt, self.imm, self.rs),
+            FpLoad | FpStore => write!(f, "{m} {}, {}({})", self.ft, self.imm, self.rs),
+            Jump => write!(f, "{m} {:#x}", self.target << 2),
+            JumpReg => match self.op {
+                Opcode::Jr => write!(f, "{m} {}", self.rs),
+                _ => write!(f, "{m} {}, {}", self.rd, self.rs),
+            },
+            BranchCmp => write!(f, "{m} {}, {}, {}", self.rs, self.rt, self.imm),
+            BranchZ => write!(f, "{m} {}, {}", self.rs, self.imm),
+            BranchFp => write!(f, "{m} {}", self.imm),
+            FpArith3 => write!(f, "{m} {}, {}, {}", self.fd, self.fs, self.ft),
+            FpArith2 => write!(f, "{m} {}, {}", self.fd, self.fs),
+            FpCompare => write!(f, "{m} {}, {}", self.fs, self.ft),
+            FpMove => write!(f, "{m} {}, {}", self.rt, self.fs),
+            System => f.write_str(m),
+        }
+    }
+}
+
+/// Error returned by [`Instruction::decode`] for unrecognised machine words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode machine word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(op: Opcode) -> Instruction {
+        use OpcodeClass::*;
+        let r1 = Reg::T0;
+        let r2 = Reg::S1;
+        let r3 = Reg::A2;
+        let f2 = FReg::new(2).unwrap();
+        let f4 = FReg::new(4).unwrap();
+        let f6 = FReg::new(6).unwrap();
+        match op.class() {
+            AluR => Instruction::alu_r(op, r1, r2, r3),
+            Shift => Instruction::shift(op, r1, r2, 7),
+            ShiftV => Instruction::shift_v(op, r1, r2, r3),
+            MulDiv => Instruction::mul_div(op, r1, r2),
+            HiLo => Instruction::hi_lo(op, r1),
+            AluI => Instruction::alu_i(op, r1, r2, -42),
+            OpcodeClass::Lui => Instruction::lui(r1, 0x1234),
+            Load | Store => Instruction::mem(op, r1, r2, -8),
+            FpLoad | FpStore => Instruction::fp_mem(op, f4, r2, 16),
+            Jump => Instruction::jump(op, 0x00AB_CDEF),
+            JumpReg => Instruction::jump_reg(op, r1, r2),
+            BranchCmp => Instruction::branch_cmp(op, r1, r2, -3),
+            BranchZ => Instruction::branch_z(op, r1, 5),
+            BranchFp => Instruction::branch_fp(op, 9),
+            FpArith3 => Instruction::fp_arith3(op, f2, f4, f6),
+            FpArith2 => Instruction::fp_arith2(op, f2, f4),
+            FpCompare => Instruction::fp_compare(op, f2, f4),
+            FpMove => Instruction::fp_move(op, r1, f4),
+            System => Instruction::system(op),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_opcode() {
+        for &op in Opcode::all() {
+            let instr = sample(op);
+            let word = instr.encode();
+            let back = Instruction::decode(word)
+                .unwrap_or_else(|e| panic!("decode {op:?}: {e}"));
+            assert_eq!(back, instr, "round trip for {op:?} (word {word:#010x})");
+        }
+    }
+
+    #[test]
+    fn zero_word_is_nop() {
+        assert_eq!(Instruction::decode(0).unwrap().op, Opcode::Nop);
+        assert_eq!(Instruction::nop().encode(), 0);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // addu $t0, $t1, $t2 == 0x012a4021
+        let i = Instruction::alu_r(Opcode::Addu, Reg::T0, Reg::T1, Reg::T2);
+        assert_eq!(i.encode(), 0x012A_4021);
+        // lw $t0, 4($sp) == 0x8fa80004
+        let i = Instruction::mem(Opcode::Lw, Reg::T0, Reg::SP, 4);
+        assert_eq!(i.encode(), 0x8FA8_0004);
+        // beq $t0, $zero, +1 == 0x11000001
+        let i = Instruction::branch_cmp(Opcode::Beq, Reg::T0, Reg::ZERO, 1);
+        assert_eq!(i.encode(), 0x1100_0001);
+        // add.d $f2, $f4, $f6 == cop1, fmt=D(0x11)
+        let i = Instruction::fp_arith3(
+            Opcode::AddD,
+            FReg::new(2).unwrap(),
+            FReg::new(4).unwrap(),
+            FReg::new(6).unwrap(),
+        );
+        assert_eq!(i.encode(), 0x4626_2080 | (2 << 6));
+    }
+
+    #[test]
+    fn bad_words_error() {
+        // opcode 0x3F is unused.
+        assert!(Instruction::decode(0xFC00_0000).is_err());
+        // SPECIAL with unused funct 0x3F.
+        assert!(Instruction::decode(0x0000_003F).is_err());
+        let e = Instruction::decode(0xFC00_0000).unwrap_err();
+        assert!(e.to_string().contains("0xfc000000"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::mem(Opcode::Lw, Reg::T0, Reg::SP, 4);
+        assert_eq!(i.to_string(), "lw $t0, 4($sp)");
+        let i = Instruction::alu_r(Opcode::Addu, Reg::T0, Reg::T1, Reg::T2);
+        assert_eq!(i.to_string(), "addu $t0, $t1, $t2");
+    }
+}

@@ -1,0 +1,65 @@
+//! Mini-MIPS instruction set substrate for the Aurora III study.
+//!
+//! The Aurora III processor described in *Resource Allocation in a High
+//! Clock Rate Microprocessor* (ASPLOS 1994) implements the MIPS R3000 ISA.
+//! This crate provides everything needed to produce the dynamic
+//! instruction traces that drive the cycle-level simulator:
+//!
+//! * [`Reg`] / [`FReg`] — integer and floating-point architectural registers,
+//! * [`Opcode`] / [`Instruction`] — a MIPS-I subset (plus the double-word
+//!   FP loads/stores mentioned in §5.9 of the paper) with binary
+//!   [`Instruction::encode`] / [`Instruction::decode`] using the standard
+//!   MIPS field layout,
+//! * [`Assembler`] — a two-pass text assembler with labels and data
+//!   directives, and [`ProgramBuilder`] for programmatic code generation,
+//! * [`Emulator`] — a functional emulator with MIPS branch-delay-slot
+//!   semantics that executes a [`Program`] and emits [`TraceOp`] records,
+//! * [`TraceOp`] / [`OpKind`] — the dynamic trace format consumed by the
+//!   `aurora-core` cycle simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use aurora_isa::{Assembler, Emulator, RunOutcome};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Assembler::new().assemble(
+//!     r#"
+//!     .text
+//!         addiu  $t0, $zero, 10    # counter
+//!         addu   $t1, $zero, $zero # sum
+//!     loop:
+//!         addu   $t1, $t1, $t0
+//!         addiu  $t0, $t0, -1
+//!         bne    $t0, $zero, loop
+//!         nop                      # branch delay slot
+//!         break
+//!     "#,
+//! )?;
+//! let mut emu = Emulator::new(&program);
+//! let outcome = emu.run(1_000)?;
+//! assert_eq!(outcome, RunOutcome::Halted);
+//! assert_eq!(emu.reg(aurora_isa::Reg::T1), 55);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod builder;
+mod emu;
+mod instr;
+mod opcode;
+mod program;
+mod reg;
+mod trace;
+mod trace_io;
+
+pub use asm::{AsmError, Assembler};
+pub use builder::ProgramBuilder;
+pub use emu::{EmuError, Emulator, RunOutcome};
+pub use instr::{DecodeError, Instruction};
+pub use opcode::{Opcode, OpcodeClass};
+pub use program::{DelaySlotError, Program, Segment};
+pub use reg::{FReg, Reg};
+pub use trace::{ArchReg, MemWidth, OpKind, TraceOp, TraceStats};
+pub use trace_io::{read_trace, write_trace, TraceReader, TraceWriter};

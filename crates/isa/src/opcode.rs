@@ -1,0 +1,441 @@
+//! Opcode definitions and classification for the MIPS-I subset.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Every operation the Aurora III substrate understands.
+///
+/// This covers the MIPS-I integer set, the COP1 single/double arithmetic
+/// used by the SPEC92 floating-point suite, and the double-word FP
+/// loads/stores (`LDC1`/`SDC1`) that §5.9 of the paper notes the
+/// implemented FPU supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are standard MIPS mnemonics
+pub enum Opcode {
+    // R-type integer ALU
+    Add,
+    Addu,
+    Sub,
+    Subu,
+    And,
+    Or,
+    Xor,
+    Nor,
+    Slt,
+    Sltu,
+    Sll,
+    Srl,
+    Sra,
+    Sllv,
+    Srlv,
+    Srav,
+    // HI/LO multiply-divide
+    Mult,
+    Multu,
+    Div,
+    Divu,
+    Mfhi,
+    Mflo,
+    Mthi,
+    Mtlo,
+    // I-type ALU
+    Addi,
+    Addiu,
+    Slti,
+    Sltiu,
+    Andi,
+    Ori,
+    Xori,
+    Lui,
+    // Loads and stores
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
+    Sb,
+    Sh,
+    Sw,
+    Lwc1,
+    Swc1,
+    Ldc1,
+    Sdc1,
+    // Control flow
+    J,
+    Jal,
+    Jr,
+    Jalr,
+    Beq,
+    Bne,
+    Blez,
+    Bgtz,
+    Bltz,
+    Bgez,
+    // FP arithmetic, single precision
+    AddS,
+    SubS,
+    MulS,
+    DivS,
+    AbsS,
+    NegS,
+    MovS,
+    SqrtS,
+    // FP arithmetic, double precision
+    AddD,
+    SubD,
+    MulD,
+    DivD,
+    AbsD,
+    NegD,
+    MovD,
+    SqrtD,
+    // Conversions
+    CvtSD,
+    CvtSW,
+    CvtDS,
+    CvtDW,
+    CvtWS,
+    CvtWD,
+    // FP compares (set the FP condition code)
+    CEqS,
+    CLtS,
+    CLeS,
+    CEqD,
+    CLtD,
+    CLeD,
+    // FP condition branches
+    Bc1t,
+    Bc1f,
+    // Register-file moves between IPU and FPU
+    Mfc1,
+    Mtc1,
+    // System
+    Syscall,
+    Break,
+    Nop,
+}
+
+/// Broad structural classification used by the encoder, assembler and the
+/// cycle simulator's dispatch logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpcodeClass {
+    /// Three-register integer ALU (`add $rd, $rs, $rt`).
+    AluR,
+    /// Shift by immediate amount (`sll $rd, $rt, sh`).
+    Shift,
+    /// Shift by register amount (`sllv $rd, $rt, $rs`).
+    ShiftV,
+    /// Multiply/divide feeding HI/LO (`mult $rs, $rt`).
+    MulDiv,
+    /// Move from/to HI/LO (`mfhi $rd` / `mthi $rs`).
+    HiLo,
+    /// Two-register + immediate ALU (`addiu $rt, $rs, imm`).
+    AluI,
+    /// Load upper immediate (`lui $rt, imm`).
+    Lui,
+    /// Integer load (`lw $rt, off($rs)`).
+    Load,
+    /// Integer store (`sw $rt, off($rs)`).
+    Store,
+    /// FP load (`lwc1 $ft, off($rs)`).
+    FpLoad,
+    /// FP store (`swc1 $ft, off($rs)`).
+    FpStore,
+    /// Absolute jump (`j target`).
+    Jump,
+    /// Jump through register (`jr $rs` / `jalr $rd, $rs`).
+    JumpReg,
+    /// Two-register compare-and-branch (`beq $rs, $rt, label`).
+    BranchCmp,
+    /// One-register compare-with-zero branch (`blez $rs, label`).
+    BranchZ,
+    /// Branch on the FP condition code (`bc1t label`).
+    BranchFp,
+    /// Three-register FP arithmetic (`add.d $fd, $fs, $ft`).
+    FpArith3,
+    /// Two-register FP arithmetic (`neg.d $fd, $fs`, conversions).
+    FpArith2,
+    /// FP compare setting the condition code (`c.lt.d $fs, $ft`).
+    FpCompare,
+    /// Move between integer and FP register files (`mfc1 $rt, $fs`).
+    FpMove,
+    /// `syscall` / `break` / `nop`.
+    System,
+}
+
+impl Opcode {
+    /// The structural class of this opcode.
+    pub fn class(self) -> OpcodeClass {
+        use Opcode::*;
+        use OpcodeClass::*;
+        match self {
+            Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu => AluR,
+            Sll | Srl | Sra => Shift,
+            Sllv | Srlv | Srav => ShiftV,
+            Mult | Multu | Div | Divu => MulDiv,
+            Mfhi | Mflo | Mthi | Mtlo => HiLo,
+            Addi | Addiu | Slti | Sltiu | Andi | Ori | Xori => AluI,
+            Opcode::Lui => OpcodeClass::Lui,
+            Lb | Lbu | Lh | Lhu | Lw => Load,
+            Sb | Sh | Sw => Store,
+            Lwc1 | Ldc1 => FpLoad,
+            Swc1 | Sdc1 => FpStore,
+            J | Jal => Jump,
+            Jr | Jalr => JumpReg,
+            Beq | Bne => BranchCmp,
+            Blez | Bgtz | Bltz | Bgez => BranchZ,
+            Bc1t | Bc1f => BranchFp,
+            AddS | SubS | MulS | DivS | SqrtS | AddD | SubD | MulD | DivD | SqrtD => FpArith3,
+            AbsS | NegS | MovS | AbsD | NegD | MovD | CvtSD | CvtSW | CvtDS | CvtDW | CvtWS
+            | CvtWD => FpArith2,
+            CEqS | CLtS | CLeS | CEqD | CLtD | CLeD => FpCompare,
+            Mfc1 | Mtc1 => FpMove,
+            Syscall | Break | Nop => System,
+        }
+    }
+
+    /// Whether this is any control-flow instruction (branch or jump).
+    ///
+    /// Control-flow instructions set the CONT pre-decode bit in the
+    /// Aurora III instruction cache (paper Figure 3) and are followed by an
+    /// architectural delay slot.
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self.class(),
+            OpcodeClass::Jump
+                | OpcodeClass::JumpReg
+                | OpcodeClass::BranchCmp
+                | OpcodeClass::BranchZ
+                | OpcodeClass::BranchFp
+        )
+    }
+
+    /// Whether this instruction accesses data memory.
+    ///
+    /// At most one memory instruction can issue per cycle on the
+    /// Aurora III (paper §2, *Instruction Fetch Unit*).
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self.class(),
+            OpcodeClass::Load | OpcodeClass::Store | OpcodeClass::FpLoad | OpcodeClass::FpStore
+        )
+    }
+
+    /// Whether this instruction executes in (or produces a value in) the FPU.
+    pub fn is_fpu(self) -> bool {
+        matches!(
+            self.class(),
+            OpcodeClass::FpArith3
+                | OpcodeClass::FpArith2
+                | OpcodeClass::FpCompare
+                | OpcodeClass::FpMove
+        )
+    }
+
+    /// Whether this FP opcode operates on double-precision (64-bit) values.
+    pub fn is_double(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            AddD | SubD
+                | MulD
+                | DivD
+                | AbsD
+                | NegD
+                | MovD
+                | SqrtD
+                | CvtDS
+                | CvtDW
+                | CvtSD
+                | CvtWD
+                | CEqD
+                | CLtD
+                | CLeD
+                | Ldc1
+                | Sdc1
+        )
+    }
+
+    /// The assembler mnemonic, e.g. `"addiu"` or `"add.d"`.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Addu => "addu",
+            Sub => "sub",
+            Subu => "subu",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nor => "nor",
+            Slt => "slt",
+            Sltu => "sltu",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Sllv => "sllv",
+            Srlv => "srlv",
+            Srav => "srav",
+            Mult => "mult",
+            Multu => "multu",
+            Div => "div",
+            Divu => "divu",
+            Mfhi => "mfhi",
+            Mflo => "mflo",
+            Mthi => "mthi",
+            Mtlo => "mtlo",
+            Addi => "addi",
+            Addiu => "addiu",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Lui => "lui",
+            Lb => "lb",
+            Lbu => "lbu",
+            Lh => "lh",
+            Lhu => "lhu",
+            Lw => "lw",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Lwc1 => "lwc1",
+            Swc1 => "swc1",
+            Ldc1 => "ldc1",
+            Sdc1 => "sdc1",
+            J => "j",
+            Jal => "jal",
+            Jr => "jr",
+            Jalr => "jalr",
+            Beq => "beq",
+            Bne => "bne",
+            Blez => "blez",
+            Bgtz => "bgtz",
+            Bltz => "bltz",
+            Bgez => "bgez",
+            AddS => "add.s",
+            SubS => "sub.s",
+            MulS => "mul.s",
+            DivS => "div.s",
+            AbsS => "abs.s",
+            NegS => "neg.s",
+            MovS => "mov.s",
+            SqrtS => "sqrt.s",
+            AddD => "add.d",
+            SubD => "sub.d",
+            MulD => "mul.d",
+            DivD => "div.d",
+            AbsD => "abs.d",
+            NegD => "neg.d",
+            MovD => "mov.d",
+            SqrtD => "sqrt.d",
+            CvtSD => "cvt.s.d",
+            CvtSW => "cvt.s.w",
+            CvtDS => "cvt.d.s",
+            CvtDW => "cvt.d.w",
+            CvtWS => "cvt.w.s",
+            CvtWD => "cvt.w.d",
+            CEqS => "c.eq.s",
+            CLtS => "c.lt.s",
+            CLeS => "c.le.s",
+            CEqD => "c.eq.d",
+            CLtD => "c.lt.d",
+            CLeD => "c.le.d",
+            Bc1t => "bc1t",
+            Bc1f => "bc1f",
+            Mfc1 => "mfc1",
+            Mtc1 => "mtc1",
+            Syscall => "syscall",
+            Break => "break",
+            Nop => "nop",
+        }
+    }
+
+    /// All opcodes, for exhaustive tests.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Add, Addu, Sub, Subu, And, Or, Xor, Nor, Slt, Sltu, Sll, Srl, Sra, Sllv, Srlv, Srav,
+            Mult, Multu, Div, Divu, Mfhi, Mflo, Mthi, Mtlo, Addi, Addiu, Slti, Sltiu, Andi, Ori,
+            Xori, Lui, Lb, Lbu, Lh, Lhu, Lw, Sb, Sh, Sw, Lwc1, Swc1, Ldc1, Sdc1, J, Jal, Jr, Jalr,
+            Beq, Bne, Blez, Bgtz, Bltz, Bgez, AddS, SubS, MulS, DivS, AbsS, NegS, MovS, SqrtS,
+            AddD, SubD, MulD, DivD, AbsD, NegD, MovD, SqrtD, CvtSD, CvtSW, CvtDS, CvtDW, CvtWS,
+            CvtWD, CEqS, CLtS, CLeS, CEqD, CLtD, CLeD, Bc1t, Bc1f, Mfc1, Mtc1, Syscall, Break,
+            Nop,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an opcode mnemonic fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpcodeError(String);
+
+impl fmt::Display for ParseOpcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown mnemonic `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseOpcodeError {}
+
+impl FromStr for Opcode {
+    type Err = ParseOpcodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Opcode::all()
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == s)
+            .ok_or_else(|| ParseOpcodeError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_unique_and_parse() {
+        let all = Opcode::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.mnemonic(), b.mnemonic(), "{a:?} vs {b:?}");
+            }
+            assert_eq!(a.mnemonic().parse::<Opcode>().unwrap(), *a);
+        }
+    }
+
+    #[test]
+    fn classification_sanity() {
+        assert!(Opcode::Beq.is_control_flow());
+        assert!(Opcode::Jr.is_control_flow());
+        assert!(Opcode::Bc1t.is_control_flow());
+        assert!(!Opcode::Addu.is_control_flow());
+        assert!(Opcode::Lw.is_memory());
+        assert!(Opcode::Sdc1.is_memory());
+        assert!(!Opcode::Mult.is_memory());
+        assert!(Opcode::MulD.is_fpu());
+        assert!(Opcode::Mfc1.is_fpu());
+        assert!(!Opcode::Lwc1.is_fpu()); // executes in the LSU
+        assert!(Opcode::Ldc1.is_double());
+        assert!(!Opcode::Lwc1.is_double());
+    }
+
+    #[test]
+    fn every_opcode_has_a_class() {
+        for op in Opcode::all() {
+            // Must not panic; spot-check a few interesting ones.
+            let _ = op.class();
+        }
+        assert_eq!(Opcode::Lui.class(), OpcodeClass::Lui);
+        assert_eq!(Opcode::CvtDW.class(), OpcodeClass::FpArith2);
+        assert_eq!(Opcode::SqrtD.class(), OpcodeClass::FpArith3);
+    }
+}

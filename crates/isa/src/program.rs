@@ -1,0 +1,275 @@
+//! The [`Program`] container produced by the assembler and consumed by the
+//! emulator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::instr::Instruction;
+
+/// Default base address of the text segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Default base address of the data segment.
+pub const DATA_BASE: u32 = 0x1001_0000;
+/// Default initial stack pointer (grows downwards).
+pub const STACK_TOP: u32 = 0x7FFF_F000;
+
+/// A contiguous memory segment with its load address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Load address of the first byte.
+    pub base: u32,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// The address one past the last byte.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+}
+
+/// An assembled program: instructions, initialised data and symbols.
+///
+/// ```
+/// use aurora_isa::Assembler;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Assembler::new().assemble(".text\nstart: nop\n break\n")?;
+/// assert_eq!(p.instructions().len(), 2);
+/// assert_eq!(p.symbol("start"), Some(p.entry()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    text_base: u32,
+    instructions: Vec<Instruction>,
+    data: Segment,
+    entry: u32,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not word-aligned or lies outside the text
+    /// segment.
+    pub fn new(
+        text_base: u32,
+        instructions: Vec<Instruction>,
+        data: Segment,
+        entry: u32,
+        symbols: BTreeMap<String, u32>,
+    ) -> Program {
+        assert_eq!(entry % 4, 0, "entry point {entry:#x} not word-aligned");
+        let text_end = text_base + 4 * instructions.len() as u32;
+        assert!(
+            entry >= text_base && entry < text_end.max(text_base + 4),
+            "entry {entry:#x} outside text [{text_base:#x}, {text_end:#x})"
+        );
+        Program { text_base, instructions, data, entry, symbols }
+    }
+
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// The instructions, in address order from [`Program::text_base`].
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The initialised data segment.
+    pub fn data(&self) -> &Segment {
+        &self.data
+    }
+
+    /// The entry-point address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// The instruction at `addr`, if it lies in the text segment.
+    pub fn instruction_at(&self, addr: u32) -> Option<&Instruction> {
+        if addr < self.text_base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        self.instructions.get(((addr - self.text_base) / 4) as usize)
+    }
+
+    /// Static code size in bytes.
+    pub fn text_bytes(&self) -> usize {
+        self.instructions.len() * 4
+    }
+
+    /// Statically verifies MIPS delay-slot rules: no control-flow
+    /// instruction may occupy the delay slot of another (§2.4 of the
+    /// paper explains the superscalar havoc this would cause), and the
+    /// final instruction must not be control flow (its delay slot would
+    /// fall off the text segment).
+    ///
+    /// # Errors
+    ///
+    /// Returns the address of the first offending instruction.
+    pub fn verify_delay_slots(&self) -> Result<(), DelaySlotError> {
+        for (i, pair) in self.instructions.windows(2).enumerate() {
+            if pair[0].op.is_control_flow() && pair[1].op.is_control_flow() {
+                return Err(DelaySlotError {
+                    pc: self.text_base + 4 * (i as u32 + 1),
+                });
+            }
+        }
+        if let Some(last) = self.instructions.last() {
+            if last.op.is_control_flow() {
+                return Err(DelaySlotError {
+                    pc: self.text_base + 4 * (self.instructions.len() as u32 - 1),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`Program::verify_delay_slots`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelaySlotError {
+    /// Address of the offending instruction.
+    pub pc: u32,
+}
+
+impl fmt::Display for DelaySlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "control-flow instruction in a delay slot (or unterminated text) at {:#010x}",
+            self.pc
+        )
+    }
+}
+
+impl std::error::Error for DelaySlotError {}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program: {} instructions at {:#x}, {} data bytes at {:#x}, entry {:#x}",
+            self.instructions.len(),
+            self.text_base,
+            self.data.bytes.len(),
+            self.data.base,
+            self.entry
+        )?;
+        for (i, instr) in self.instructions.iter().enumerate() {
+            let addr = self.text_base + 4 * i as u32;
+            for (name, a) in &self.symbols {
+                if *a == addr {
+                    writeln!(f, "{name}:")?;
+                }
+            }
+            writeln!(f, "  {addr:#010x}  {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    fn tiny() -> Program {
+        let mut syms = BTreeMap::new();
+        syms.insert("start".to_owned(), TEXT_BASE);
+        Program::new(
+            TEXT_BASE,
+            vec![Instruction::nop(), Instruction::system(Opcode::Break)],
+            Segment { base: DATA_BASE, bytes: vec![1, 2, 3, 4] },
+            TEXT_BASE,
+            syms,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = tiny();
+        assert_eq!(p.entry(), TEXT_BASE);
+        assert_eq!(p.text_bytes(), 8);
+        assert_eq!(p.symbol("start"), Some(TEXT_BASE));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.instruction_at(TEXT_BASE + 4).unwrap().op, Opcode::Break);
+        assert_eq!(p.instruction_at(TEXT_BASE + 2), None);
+        assert_eq!(p.instruction_at(0), None);
+        assert_eq!(p.data().end(), DATA_BASE + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside text")]
+    fn entry_outside_text_panics() {
+        Program::new(
+            TEXT_BASE,
+            vec![Instruction::nop()],
+            Segment { base: DATA_BASE, bytes: vec![] },
+            TEXT_BASE + 0x1000,
+            BTreeMap::new(),
+        );
+    }
+
+    #[test]
+    fn delay_slot_verification() {
+        use crate::instr::Instruction;
+        use crate::opcode::Opcode;
+        use crate::reg::Reg;
+        let mk = |instrs: Vec<Instruction>| {
+            Program::new(
+                TEXT_BASE,
+                instrs,
+                Segment { base: DATA_BASE, bytes: vec![] },
+                TEXT_BASE,
+                BTreeMap::new(),
+            )
+        };
+        // Legal: branch, nop, break.
+        let ok = mk(vec![
+            Instruction::branch_cmp(Opcode::Beq, Reg::ZERO, Reg::ZERO, 1),
+            Instruction::nop(),
+            Instruction::system(Opcode::Break),
+        ]);
+        assert!(ok.verify_delay_slots().is_ok());
+        // Illegal: branch in a delay slot.
+        let bad = mk(vec![
+            Instruction::branch_cmp(Opcode::Beq, Reg::ZERO, Reg::ZERO, 1),
+            Instruction::branch_cmp(Opcode::Bne, Reg::ZERO, Reg::ZERO, 1),
+            Instruction::system(Opcode::Break),
+        ]);
+        let err = bad.verify_delay_slots().unwrap_err();
+        assert_eq!(err.pc, TEXT_BASE + 4);
+        assert!(err.to_string().contains("delay slot"));
+        // Illegal: program ends on a control-flow instruction.
+        let tail = mk(vec![
+            Instruction::nop(),
+            Instruction::jump(Opcode::J, TEXT_BASE >> 2),
+        ]);
+        assert!(tail.verify_delay_slots().is_err());
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let text = tiny().to_string();
+        assert!(text.contains("start:"));
+        assert!(text.contains("break"));
+    }
+}

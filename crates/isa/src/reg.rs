@@ -1,0 +1,252 @@
+//! Architectural register names for the integer and floating-point files.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 MIPS integer registers.
+///
+/// The conventional ABI aliases (`$t0`, `$sp`, …) are exposed as associated
+/// constants and understood by the assembler alongside numeric `$0`–`$31`
+/// names.
+///
+/// ```
+/// use aurora_isa::Reg;
+/// assert_eq!(Reg::T0.number(), 8);
+/// assert_eq!("$t0".parse::<Reg>().unwrap(), Reg::T0);
+/// assert_eq!("$8".parse::<Reg>().unwrap(), Reg::T0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// Function result registers.
+    pub const V0: Reg = Reg(2);
+    pub const V1: Reg = Reg(3);
+    /// Argument registers.
+    pub const A0: Reg = Reg(4);
+    pub const A1: Reg = Reg(5);
+    pub const A2: Reg = Reg(6);
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries.
+    pub const T0: Reg = Reg(8);
+    pub const T1: Reg = Reg(9);
+    pub const T2: Reg = Reg(10);
+    pub const T3: Reg = Reg(11);
+    pub const T4: Reg = Reg(12);
+    pub const T5: Reg = Reg(13);
+    pub const T6: Reg = Reg(14);
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved registers.
+    pub const S0: Reg = Reg(16);
+    pub const S1: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    /// More caller-saved temporaries.
+    pub const T8: Reg = Reg(24);
+    pub const T9: Reg = Reg(25);
+    /// Reserved for the OS kernel.
+    pub const K0: Reg = Reg(26);
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    const NAMES: [&'static str; 32] = [
+        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+        "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp",
+        "sp", "fp", "ra",
+    ];
+
+    /// Creates a register from its number.
+    ///
+    /// Returns `None` if `n > 31`.
+    pub fn new(n: u8) -> Option<Reg> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The conventional ABI name without the `$` sigil, e.g. `"t0"`.
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError(String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('$').unwrap_or(s);
+        if let Ok(n) = body.parse::<u8>() {
+            return Reg::new(n).ok_or_else(|| ParseRegError(s.to_owned()));
+        }
+        Reg::NAMES
+            .iter()
+            .position(|&n| n == body)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(|| ParseRegError(s.to_owned()))
+    }
+}
+
+/// One of the 32 single-width MIPS floating-point registers (`$f0`–`$f31`).
+///
+/// Double-precision values occupy an even/odd pair, addressed by the even
+/// register, exactly as on the R3000.
+///
+/// ```
+/// use aurora_isa::FReg;
+/// let f2 = FReg::new(2).unwrap();
+/// assert!(f2.is_even());
+/// assert_eq!("$f2".parse::<FReg>().unwrap(), f2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a floating-point register from its number.
+    ///
+    /// Returns `None` if `n > 31`.
+    pub fn new(n: u8) -> Option<FReg> {
+        (n < 32).then_some(FReg(n))
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register can hold the low half of a double.
+    pub fn is_even(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+
+    /// The odd partner register holding the high half of a double.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is odd-numbered.
+    pub fn pair(self) -> FReg {
+        assert!(self.is_even(), "double pair of odd register {self}");
+        FReg(self.0 + 1)
+    }
+
+    /// Iterates over all 32 floating-point registers in numeric order.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        (0..32).map(FReg)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+impl FromStr for FReg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.strip_prefix('$')
+            .unwrap_or(s)
+            .strip_prefix('f')
+            .and_then(|n| n.parse::<u8>().ok())
+            .and_then(FReg::new)
+            .ok_or_else(|| ParseRegError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_match_abi_layout() {
+        assert_eq!(Reg::ZERO.number(), 0);
+        assert_eq!(Reg::V0.number(), 2);
+        assert_eq!(Reg::A0.number(), 4);
+        assert_eq!(Reg::T0.number(), 8);
+        assert_eq!(Reg::S0.number(), 16);
+        assert_eq!(Reg::T8.number(), 24);
+        assert_eq!(Reg::SP.number(), 29);
+        assert_eq!(Reg::RA.number(), 31);
+    }
+
+    #[test]
+    fn parse_by_name_and_number() {
+        for r in Reg::all() {
+            assert_eq!(format!("${}", r.name()).parse::<Reg>().unwrap(), r);
+            assert_eq!(format!("${}", r.number()).parse::<Reg>().unwrap(), r);
+        }
+        assert!("$x9".parse::<Reg>().is_err());
+        assert!("$32".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for r in Reg::all() {
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+        }
+        for f in FReg::all() {
+            assert_eq!(f.to_string().parse::<FReg>().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn freg_pairing() {
+        let f4 = FReg::new(4).unwrap();
+        assert_eq!(f4.pair().number(), 5);
+        assert!(!FReg::new(5).unwrap().is_even());
+    }
+
+    #[test]
+    #[should_panic(expected = "double pair")]
+    fn freg_pair_of_odd_panics() {
+        let _ = FReg::new(3).unwrap().pair();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Reg::new(32).is_none());
+        assert!(FReg::new(32).is_none());
+        assert!(Reg::new(31).is_some());
+    }
+}

@@ -1,0 +1,426 @@
+//! Binary serialisation of dynamic traces.
+//!
+//! Trace-driven methodology (§4.1) traditionally separates *trace
+//! collection* from *simulation*: traces are captured once and replayed
+//! against many configurations. This module provides a compact binary
+//! format for that workflow:
+//!
+//! * a 16-byte header (`magic`, version, record count),
+//! * fixed 20-byte little-endian records — simple, seekable and fast,
+//! * streaming [`TraceWriter`] / [`TraceReader`] so multi-million-op
+//!   traces never need to live in memory.
+//!
+//! ```
+//! use aurora_isa::{read_trace, write_trace, OpKind, TraceOp};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let trace = vec![
+//!     TraceOp::bare(0x400000, OpKind::IntAlu),
+//!     TraceOp::bare(0x400004, OpKind::Branch { taken: true, target: 0x400000 }),
+//! ];
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, trace.iter().copied())?;
+//! let back: Vec<TraceOp> = read_trace(&buf[..])?.collect::<Result<_, _>>()?;
+//! assert_eq!(back, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::trace::{ArchReg, MemWidth, OpKind, TraceOp};
+
+const MAGIC: &[u8; 8] = b"AUR3TRC\0";
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 20;
+
+// Kind tags.
+const K_INT_ALU: u8 = 0;
+const K_INT_MUL: u8 = 1;
+const K_INT_DIV: u8 = 2;
+const K_LOAD: u8 = 3;
+const K_STORE: u8 = 4;
+const K_FP_LOAD: u8 = 5;
+const K_FP_STORE: u8 = 6;
+const K_BRANCH: u8 = 7;
+const K_BRANCH_TAKEN: u8 = 8;
+const K_JUMP: u8 = 9;
+const K_JUMP_REG: u8 = 10;
+const K_FP_ADD: u8 = 11;
+const K_FP_MUL: u8 = 12;
+const K_FP_DIV: u8 = 13;
+const K_FP_SQRT: u8 = 14;
+const K_FP_CVT: u8 = 15;
+const K_FP_MOVE: u8 = 16;
+const K_FP_CMP: u8 = 17;
+const K_NOP: u8 = 18;
+
+// Register encoding: 0 = none; 1..=32 int r0..r31; 33..=64 fp; 65 hilo; 66 fcc.
+fn encode_reg(r: Option<ArchReg>) -> u8 {
+    match r {
+        None => 0,
+        Some(ArchReg::Int(n)) => 1 + n,
+        Some(ArchReg::Fp(n)) => 33 + n,
+        Some(ArchReg::HiLo) => 65,
+        Some(ArchReg::FpCond) => 66,
+    }
+}
+
+fn decode_reg(b: u8) -> Result<Option<ArchReg>, io::Error> {
+    Ok(match b {
+        0 => None,
+        1..=32 => Some(ArchReg::Int(b - 1)),
+        33..=64 => Some(ArchReg::Fp(b - 33)),
+        65 => Some(ArchReg::HiLo),
+        66 => Some(ArchReg::FpCond),
+        other => return Err(bad(format!("register code {other}"))),
+    })
+}
+
+fn encode_width(w: MemWidth) -> u8 {
+    match w {
+        MemWidth::Byte => 1,
+        MemWidth::Half => 2,
+        MemWidth::Word => 4,
+        MemWidth::Double => 8,
+    }
+}
+
+fn decode_width(b: u8) -> Result<MemWidth, io::Error> {
+    Ok(match b {
+        1 => MemWidth::Byte,
+        2 => MemWidth::Half,
+        4 => MemWidth::Word,
+        8 => MemWidth::Double,
+        other => return Err(bad(format!("width code {other}"))),
+    })
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("trace file: {msg}"))
+}
+
+fn encode_record(op: &TraceOp) -> [u8; RECORD_BYTES] {
+    let mut rec = [0u8; RECORD_BYTES];
+    rec[0..4].copy_from_slice(&op.pc.to_le_bytes());
+    let (kind, aux, payload): (u8, u8, u32) = match op.kind {
+        OpKind::IntAlu => (K_INT_ALU, 0, 0),
+        OpKind::IntMul => (K_INT_MUL, 0, 0),
+        OpKind::IntDiv => (K_INT_DIV, 0, 0),
+        OpKind::Load { ea, width } => (K_LOAD, encode_width(width), ea),
+        OpKind::Store { ea, width } => (K_STORE, encode_width(width), ea),
+        OpKind::FpLoad { ea, width } => (K_FP_LOAD, encode_width(width), ea),
+        OpKind::FpStore { ea, width } => (K_FP_STORE, encode_width(width), ea),
+        OpKind::Branch { taken, target } => {
+            (if taken { K_BRANCH_TAKEN } else { K_BRANCH }, 0, target)
+        }
+        OpKind::Jump { target, register } => {
+            (if register { K_JUMP_REG } else { K_JUMP }, 0, target)
+        }
+        OpKind::FpAdd => (K_FP_ADD, 0, 0),
+        OpKind::FpMul => (K_FP_MUL, 0, 0),
+        OpKind::FpDiv => (K_FP_DIV, 0, 0),
+        OpKind::FpSqrt => (K_FP_SQRT, 0, 0),
+        OpKind::FpCvt => (K_FP_CVT, 0, 0),
+        OpKind::FpMove => (K_FP_MOVE, 0, 0),
+        OpKind::FpCmp => (K_FP_CMP, 0, 0),
+        OpKind::Nop => (K_NOP, 0, 0),
+    };
+    rec[4] = kind;
+    rec[5] = aux;
+    rec[6..10].copy_from_slice(&payload.to_le_bytes());
+    rec[10] = encode_reg(op.dst);
+    rec[11] = encode_reg(op.src1);
+    rec[12] = encode_reg(op.src2);
+    // rec[13..20] reserved (zero) for future fields.
+    rec
+}
+
+fn decode_record(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceOp> {
+    let pc = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+    let payload = u32::from_le_bytes(rec[6..10].try_into().unwrap());
+    let aux = rec[5];
+    let kind = match rec[4] {
+        K_INT_ALU => OpKind::IntAlu,
+        K_INT_MUL => OpKind::IntMul,
+        K_INT_DIV => OpKind::IntDiv,
+        K_LOAD => OpKind::Load { ea: payload, width: decode_width(aux)? },
+        K_STORE => OpKind::Store { ea: payload, width: decode_width(aux)? },
+        K_FP_LOAD => OpKind::FpLoad { ea: payload, width: decode_width(aux)? },
+        K_FP_STORE => OpKind::FpStore { ea: payload, width: decode_width(aux)? },
+        K_BRANCH => OpKind::Branch { taken: false, target: payload },
+        K_BRANCH_TAKEN => OpKind::Branch { taken: true, target: payload },
+        K_JUMP => OpKind::Jump { target: payload, register: false },
+        K_JUMP_REG => OpKind::Jump { target: payload, register: true },
+        K_FP_ADD => OpKind::FpAdd,
+        K_FP_MUL => OpKind::FpMul,
+        K_FP_DIV => OpKind::FpDiv,
+        K_FP_SQRT => OpKind::FpSqrt,
+        K_FP_CVT => OpKind::FpCvt,
+        K_FP_MOVE => OpKind::FpMove,
+        K_FP_CMP => OpKind::FpCmp,
+        K_NOP => OpKind::Nop,
+        other => return Err(bad(format!("kind tag {other}"))),
+    };
+    Ok(TraceOp {
+        pc,
+        kind,
+        dst: decode_reg(rec[10])?,
+        src1: decode_reg(rec[11])?,
+        src2: decode_reg(rec[12])?,
+    })
+}
+
+/// Streaming trace writer. Records are written incrementally; the record
+/// count in the header is patched by [`TraceWriter::finish`] for seekable
+/// sinks, or left as the streaming sentinel `u32::MAX` otherwise.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W) -> io::Result<TraceWriter<W>> {
+        sink.write_all(MAGIC)?;
+        sink.write_all(&VERSION.to_le_bytes())?;
+        sink.write_all(&u32::MAX.to_le_bytes())?; // streaming sentinel
+        Ok(TraceWriter { sink, written: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write(&mut self, op: &TraceOp) -> io::Result<()> {
+        self.sink.write_all(&encode_record(op))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming trace reader; an iterator of `io::Result<TraceOp>`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    remaining: Option<u64>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic number or unsupported
+    /// version, and propagates I/O errors.
+    pub fn new(mut source: R) -> io::Result<TraceReader<R>> {
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad magic".into()));
+        }
+        let mut word = [0u8; 4];
+        source.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != VERSION {
+            return Err(bad(format!("unsupported version {version}")));
+        }
+        source.read_exact(&mut word)?;
+        let count = u32::from_le_bytes(word);
+        let remaining = (count != u32::MAX).then_some(u64::from(count));
+        Ok(TraceReader { source, remaining })
+    }
+
+    /// Declared record count, if the trace was written with one.
+    pub fn len_hint(&self) -> Option<u64> {
+        self.remaining
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceOp>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        let mut rec = [0u8; RECORD_BYTES];
+        // Streaming traces end at EOF.
+        match self.source.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && self.remaining.is_none() => {
+                return None;
+            }
+            Err(e) => return Some(Err(e)),
+        }
+        if let Some(r) = self.remaining.as_mut() {
+            *r -= 1;
+        }
+        Some(decode_record(&rec))
+    }
+}
+
+/// Writes a whole trace (streaming header variant).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_trace<W: Write>(sink: W, ops: impl IntoIterator<Item = TraceOp>) -> io::Result<u64> {
+    let mut w = TraceWriter::new(sink)?;
+    for op in ops {
+        w.write(&op)?;
+    }
+    let n = w.written();
+    w.finish()?;
+    Ok(n)
+}
+
+/// Opens a trace for streaming reads.
+///
+/// # Errors
+///
+/// See [`TraceReader::new`].
+pub fn read_trace<R: Read>(source: R) -> io::Result<TraceReader<R>> {
+    TraceReader::new(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_ops() -> Vec<TraceOp> {
+        vec![
+            TraceOp {
+                pc: 0x0040_0000,
+                kind: OpKind::Load { ea: 0x1001_0040, width: MemWidth::Word },
+                dst: Some(ArchReg::Int(8)),
+                src1: Some(ArchReg::Int(29)),
+                src2: None,
+            },
+            TraceOp::bare(0x0040_0004, OpKind::FpDiv),
+            TraceOp {
+                pc: 0x0040_0008,
+                kind: OpKind::Branch { taken: true, target: 0x0040_0000 },
+                dst: None,
+                src1: Some(ArchReg::FpCond),
+                src2: Some(ArchReg::HiLo),
+            },
+            TraceOp {
+                pc: 0x0040_000c,
+                kind: OpKind::FpStore { ea: 0x1001_0048, width: MemWidth::Double },
+                dst: None,
+                src1: Some(ArchReg::Int(4)),
+                src2: Some(ArchReg::Fp(12)),
+            },
+            TraceOp::bare(0x0040_0010, OpKind::Jump { target: 0x0040_0100, register: true }),
+            TraceOp::bare(0x0040_0014, OpKind::Nop),
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, ops.iter().copied()).unwrap();
+        assert_eq!(n, ops.len() as u64);
+        let back: Vec<TraceOp> =
+            read_trace(&buf[..]).unwrap().collect::<io::Result<_>>().unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        assert!(read_trace(&b"NOTATRACE....."[..]).is_err());
+        let mut buf = Vec::new();
+        write_trace(&mut buf, sample_ops()).unwrap();
+        buf[9] = 99; // corrupt version
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn corrupt_record_reports() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, sample_ops()).unwrap();
+        buf[16 + 4] = 200; // invalid kind tag in the first record
+        let items: Vec<io::Result<TraceOp>> = read_trace(&buf[..]).unwrap().collect();
+        assert!(items[0].is_err());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let mut buf = Vec::new();
+        assert_eq!(write_trace(&mut buf, std::iter::empty()).unwrap(), 0);
+        let items: Vec<_> = read_trace(&buf[..]).unwrap().collect();
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn writer_counts() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for op in sample_ops() {
+            w.write(&op).unwrap();
+        }
+        assert_eq!(w.written(), 6);
+        w.finish().unwrap();
+    }
+
+    proptest! {
+        /// Any trace op survives a serialisation round trip.
+        #[test]
+        fn arbitrary_ops_round_trip(
+            pc in any::<u32>(),
+            ea in any::<u32>(),
+            dst in 0u8..32,
+            src in 0u8..32,
+            kind_sel in 0u8..10,
+        ) {
+            let kind = match kind_sel {
+                0 => OpKind::IntAlu,
+                1 => OpKind::Load { ea, width: MemWidth::Word },
+                2 => OpKind::Store { ea, width: MemWidth::Byte },
+                3 => OpKind::FpLoad { ea, width: MemWidth::Double },
+                4 => OpKind::Branch { taken: ea % 2 == 0, target: ea },
+                5 => OpKind::Jump { target: ea, register: ea % 2 == 1 },
+                6 => OpKind::FpMul,
+                7 => OpKind::FpSqrt,
+                8 => OpKind::IntDiv,
+                _ => OpKind::FpCmp,
+            };
+            let op = TraceOp {
+                pc,
+                kind,
+                dst: Some(ArchReg::Int(dst)),
+                src1: Some(ArchReg::Fp(src & !1)),
+                src2: None,
+            };
+            let mut buf = Vec::new();
+            write_trace(&mut buf, [op]).unwrap();
+            let back: Vec<TraceOp> =
+                read_trace(&buf[..]).unwrap().collect::<io::Result<_>>().unwrap();
+            prop_assert_eq!(back, vec![op]);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The pre-decoded instruction cache of paper Figure 3.
+//!
+//! Instructions are pre-decoded before insertion into the cache and stored
+//! as EVEN/ODD pairs carrying three extra fields:
+//!
+//! * **DI** — a true dependency inside the pair prohibits dual issue,
+//! * **CONT** — the pair contains a control-flow instruction,
+//! * **NEXT** — the cache location of the branch target, enabling branch
+//!   folding: the target can be fetched the cycle after the branch with no
+//!   pipeline bubble.
+
+use crate::addr::Geometry;
+use crate::cache::{CacheStats, DirectMappedCache};
+use std::collections::HashMap;
+
+/// Pre-decode information for one instruction pair (Figure 3 fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairInfo {
+    /// DI bit: an intra-pair true dependency prohibits dual issue.
+    pub dual_issue_inhibit: bool,
+    /// CONT bit: the pair contains a branch or jump.
+    pub has_control_flow: bool,
+    /// NEXT field: the branch target address, when the pair's control-flow
+    /// instruction has a statically known target (branch folding).
+    pub folded_target: Option<u64>,
+}
+
+/// A direct-mapped instruction cache holding pre-decoded pairs.
+///
+/// Pair pre-decode entries persist across evictions: program text is
+/// immutable, so a re-filled line's pre-decode is identical, and entries
+/// for non-resident lines are never consulted (the tag probe gates every
+/// use). This keeps the model simple without being wrong.
+///
+/// ```
+/// use aurora_mem::{DecodedICache, Geometry, PairInfo};
+///
+/// let mut ic = DecodedICache::new(Geometry::new(1024, 32));
+/// let pc = 0x400000;
+/// assert!(!ic.probe(pc));
+/// ic.fill(pc);
+/// ic.record_pair(pc, PairInfo { has_control_flow: true, ..Default::default() });
+/// assert!(ic.probe(pc));
+/// assert!(ic.pair_info(pc).unwrap().has_control_flow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodedICache {
+    cache: DirectMappedCache,
+    pairs: HashMap<u64, PairInfo>,
+}
+
+impl DecodedICache {
+    /// Creates an empty pre-decoded cache.
+    pub fn new(geom: Geometry) -> DecodedICache {
+        DecodedICache { cache: DirectMappedCache::new(geom), pairs: HashMap::new() }
+    }
+
+    /// The underlying geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.cache.geometry()
+    }
+
+    /// Probes the line containing `pc`, recording statistics.
+    pub fn probe(&mut self, pc: u64) -> bool {
+        self.cache.probe(pc)
+    }
+
+    /// Whether the line containing `pc` is resident (no stats).
+    pub fn contains(&self, pc: u64) -> bool {
+        self.cache.contains(pc)
+    }
+
+    /// Installs the line containing `pc`.
+    pub fn fill(&mut self, pc: u64) -> bool {
+        self.cache.fill(pc)
+    }
+
+    /// Records pre-decode information for the pair containing `pc`.
+    ///
+    /// The pair is identified by `pc >> 3`: EVEN instructions occupy the
+    /// lower of two consecutive word addresses (§2, Figure 3).
+    pub fn record_pair(&mut self, pc: u64, info: PairInfo) {
+        self.pairs.insert(pc >> 3, info);
+    }
+
+    /// Pre-decode info for the pair containing `pc`, if it has ever been
+    /// decoded. Only meaningful when [`DecodedICache::contains`] holds.
+    pub fn pair_info(&self, pc: u64) -> Option<PairInfo> {
+        self.pairs.get(&(pc >> 3)).copied()
+    }
+
+    /// Whether a taken control transfer from the pair at `branch_pc` can be
+    /// folded: the pair's NEXT field points at `target` and the target's
+    /// line is resident, so the fetch proceeds with no bubble.
+    pub fn can_fold(&self, branch_pc: u64, target: u64) -> bool {
+        matches!(
+            self.pair_info(branch_pc),
+            Some(PairInfo { folded_target: Some(t), .. }) if t == target
+        ) && self.contains(target)
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resets statistics (keeps contents).
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn icache() -> DecodedICache {
+        DecodedICache::new(Geometry::new(1024, 32))
+    }
+
+    #[test]
+    fn pair_identity_is_eight_bytes() {
+        let mut ic = icache();
+        ic.record_pair(0x100, PairInfo { dual_issue_inhibit: true, ..Default::default() });
+        // Both the EVEN (0x100) and ODD (0x104) member see the same info.
+        assert!(ic.pair_info(0x104).unwrap().dual_issue_inhibit);
+        assert!(ic.pair_info(0x108).is_none());
+    }
+
+    #[test]
+    fn folding_requires_matching_target_and_residency() {
+        let mut ic = icache();
+        ic.fill(0x100);
+        ic.record_pair(0x100, PairInfo {
+            has_control_flow: true,
+            folded_target: Some(0x800),
+            ..Default::default()
+        });
+        // Target line not resident: no folding.
+        assert!(!ic.can_fold(0x100, 0x800));
+        ic.fill(0x800);
+        assert!(ic.can_fold(0x100, 0x800));
+        // Different dynamic target (e.g. jr): no folding.
+        assert!(!ic.can_fold(0x100, 0x900));
+        // Pair without a NEXT field: no folding.
+        ic.fill(0x200);
+        ic.record_pair(0x200, PairInfo { has_control_flow: true, ..Default::default() });
+        assert!(!ic.can_fold(0x200, 0x800));
+    }
+
+    #[test]
+    fn predecode_survives_eviction() {
+        let mut ic = icache();
+        ic.fill(0x0);
+        ic.record_pair(0x0, PairInfo { has_control_flow: true, ..Default::default() });
+        ic.fill(1024); // evicts line 0 (1 KB cache)
+        assert!(!ic.contains(0x0));
+        // Refill: pre-decode is still there, as the text is immutable.
+        ic.fill(0x0);
+        assert!(ic.pair_info(0x0).unwrap().has_control_flow);
+    }
+
+    #[test]
+    fn stats_delegate() {
+        let mut ic = icache();
+        ic.probe(0x40);
+        ic.fill(0x40);
+        ic.probe(0x40);
+        assert_eq!(ic.stats().accesses, 2);
+        assert_eq!(ic.stats().hits, 1);
+        ic.reset_stats();
+        assert_eq!(ic.stats().accesses, 0);
+    }
+}

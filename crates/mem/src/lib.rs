@@ -1,0 +1,53 @@
+//! Memory-hierarchy substrates for the Aurora III study.
+//!
+//! This crate models every on- and off-chip memory structure the paper's
+//! design-space study varies (§2, Table 1):
+//!
+//! * [`Geometry`] — line/index/tag arithmetic shared by all structures,
+//! * [`DirectMappedCache`] — tags-only direct-mapped cache with statistics,
+//!   used for the on-chip instruction cache and the external pipelined
+//!   data cache,
+//! * [`DecodedICache`] — the pre-decoded instruction cache of Figure 3,
+//!   tracking the DI / CONT / NEXT branch-folding fields per pair,
+//! * [`StreamBuffers`] — Jouppi-style sequential prefetch stream buffers
+//!   shared between the instruction and data streams (§2.2),
+//! * [`WriteCache`] — the 4-line × 8-word coalescing write cache with
+//!   page-field micro-TLB write validation (§2.3),
+//! * [`MshrFile`] — miss status holding registers bounding the number of
+//!   outstanding data-cache misses (§2.3, §5.4),
+//! * [`Biu`] — the split-transaction bus interface unit plus the secondary
+//!   memory latency model (17- or 35-cycle average, §4.2).
+//!
+//! All structures are *timing* models: they track tags, occupancy and
+//! cycle counts, not data contents (the functional emulator in
+//! `aurora-isa` owns the data).
+//!
+//! # Example
+//!
+//! ```
+//! use aurora_mem::{DirectMappedCache, Geometry};
+//!
+//! let geom = Geometry::new(2 * 1024, 32); // 2 KB of 32-byte lines
+//! let mut icache = DirectMappedCache::new(geom);
+//! assert!(!icache.probe(0x400000));
+//! icache.fill(0x400000);
+//! assert!(icache.probe(0x400000));
+//! assert!(icache.probe(0x40001c)); // same line
+//! assert_eq!(icache.stats().misses, 1);
+//! ```
+
+mod addr;
+mod biu;
+mod cache;
+mod icache;
+mod mshr;
+mod stream;
+mod write_cache;
+
+pub use addr::{Geometry, LineAddr};
+pub use biu::{Biu, BiuStats, LatencyModel, TransferKind};
+pub use cache::{CacheStats, DirectMappedCache};
+pub use icache::{DecodedICache, PairInfo};
+pub use mshr::{MshrFile, MshrStats};
+pub use stream::{StreamBuffers, StreamProbe, StreamStats};
+pub use write_cache::{StoreOutcome, WriteCache, WriteCacheStats};

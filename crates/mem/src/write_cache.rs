@@ -1,0 +1,433 @@
+//! The coalescing write cache and its micro-TLB write validation (§2.3).
+//!
+//! The write cache groups multiple stores into a single BIU transaction.
+//! It is organised as a small number of fully-associative lines of eight
+//! words with per-word valid bits. Because the MMU is off chip, a store
+//! can only retire once its page is known to be writable; the write cache
+//! doubles as a micro-TLB: a store whose page field matches any valid
+//! line's page field needs no MMU round trip.
+
+use std::fmt;
+
+use crate::addr::{Geometry, LineAddr};
+
+/// Words per write-cache line (8 words × 4 bytes = 32-byte lines, §2.3).
+pub const WORDS_PER_LINE: u32 = 8;
+
+/// Page size used for the page-field micro-TLB match.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Result of presenting a store to the write cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOutcome {
+    /// The store coalesced into an already-valid line.
+    pub hit: bool,
+    /// A line had to be evicted to make room (one BIU store transaction).
+    pub evicted: Option<LineAddr>,
+    /// No valid line shared the store's page field, so the MMU must be
+    /// queried before the store can be considered retired.
+    pub needs_validation: bool,
+}
+
+/// Counters for the write cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteCacheStats {
+    /// Store instructions presented.
+    pub store_accesses: u64,
+    /// Stores that coalesced into a resident line.
+    pub store_hits: u64,
+    /// Load probes presented.
+    pub load_accesses: u64,
+    /// Load probes that found their word valid in the write cache.
+    pub load_hits: u64,
+    /// Lines sent to the BIU (evictions plus flushes).
+    pub store_transactions: u64,
+    /// Stores that required an MMU validation round trip.
+    pub validations: u64,
+}
+
+impl WriteCacheStats {
+    /// Combined hit rate over loads *and* stores — the metric of paper
+    /// Table 5 ("the hit rate includes both load and store data accesses").
+    pub fn hit_rate(&self) -> f64 {
+        let acc = self.store_accesses + self.load_accesses;
+        if acc == 0 {
+            0.0
+        } else {
+            (self.store_hits + self.load_hits) as f64 / acc as f64
+        }
+    }
+
+    /// Store transactions as a fraction of store instructions — the §5.5
+    /// write-traffic metric (0.44 / 0.30 / 0.22 for small/base/large).
+    pub fn traffic_ratio(&self) -> f64 {
+        if self.store_accesses == 0 {
+            0.0
+        } else {
+            self.store_transactions as f64 / self.store_accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for WriteCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stores ({} hits), {} loads ({} hits), {:.2}% hit rate, {} transactions ({:.0}% of stores)",
+            self.store_accesses,
+            self.store_hits,
+            self.load_accesses,
+            self.load_hits,
+            100.0 * self.hit_rate(),
+            self.store_transactions,
+            100.0 * self.traffic_ratio()
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    line: LineAddr,
+    /// Per-word valid bits (bit i = word i of the line).
+    word_mask: u8,
+    last_used: u64,
+}
+
+/// The coalescing write cache.
+///
+/// ```
+/// use aurora_mem::WriteCache;
+///
+/// let mut wc = WriteCache::new(4);
+/// let first = wc.store(0x1000, 4, 0);
+/// assert!(!first.hit);
+/// // The adjacent word coalesces into the same line: a hit, no traffic.
+/// let second = wc.store(0x1004, 4, 1);
+/// assert!(second.hit);
+/// assert_eq!(wc.stats().store_transactions, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteCache {
+    lines: Vec<Line>,
+    capacity: usize,
+    geom: Geometry,
+    clock: u64,
+    stats: WriteCacheStats,
+}
+
+impl WriteCache {
+    /// Creates a write cache of `lines` fully-associative 8-word lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(lines: usize) -> WriteCache {
+        assert!(lines > 0);
+        WriteCache {
+            lines: Vec::with_capacity(lines),
+            capacity: lines,
+            geom: Geometry::new(WORDS_PER_LINE * 4 * 64, WORDS_PER_LINE * 4),
+            clock: 0,
+            stats: WriteCacheStats::default(),
+        }
+    }
+
+    /// Number of lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Presents a store of `bytes` bytes at `addr`.
+    ///
+    /// Returns whether it coalesced, whether a line was evicted to make
+    /// room (a BIU transaction), and whether MMU write validation is
+    /// needed (no resident line shared the page field).
+    pub fn store(&mut self, addr: u64, bytes: u32, _now: u64) -> StoreOutcome {
+        self.clock += 1;
+        self.stats.store_accesses += 1;
+        let line = self.geom.line(addr);
+        let mask = word_mask(addr, bytes);
+        let page = addr / PAGE_BYTES;
+        let validated = self
+            .lines
+            .iter()
+            .any(|l| l.line.to_bytes(self.geom.line_bytes()) / PAGE_BYTES == page);
+        if !validated {
+            self.stats.validations += 1;
+        }
+
+        if let Some(existing) = self.lines.iter_mut().find(|l| l.line == line) {
+            existing.word_mask |= mask;
+            existing.last_used = self.clock;
+            self.stats.store_hits += 1;
+            return StoreOutcome { hit: true, evicted: None, needs_validation: !validated };
+        }
+
+        let evicted = if self.lines.len() == self.capacity {
+            let lru = self
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            let victim = self.lines.remove(lru);
+            self.stats.store_transactions += 1;
+            Some(victim.line)
+        } else {
+            None
+        };
+        self.lines.push(Line { line, word_mask: mask, last_used: self.clock });
+        StoreOutcome { hit: false, evicted, needs_validation: !validated }
+    }
+
+    /// Probes a load of `bytes` bytes at `addr`; hits when every word it
+    /// reads is valid in a resident line.
+    pub fn load_probe(&mut self, addr: u64, bytes: u32) -> bool {
+        self.stats.load_accesses += 1;
+        let line = self.geom.line(addr);
+        let mask = word_mask(addr, bytes);
+        let hit = self
+            .lines
+            .iter()
+            .any(|l| l.line == line && l.word_mask & mask == mask);
+        if hit {
+            self.stats.load_hits += 1;
+        }
+        hit
+    }
+
+    /// Whether any resident line covers `addr`'s line (regardless of which
+    /// words are valid). Used by the LSU to order loads behind stores.
+    pub fn contains_line(&self, addr: u64) -> bool {
+        let line = self.geom.line(addr);
+        self.lines.iter().any(|l| l.line == line)
+    }
+
+    /// Drains every resident line, returning them oldest-first. Each line
+    /// is one BIU store transaction.
+    pub fn flush(&mut self) -> Vec<LineAddr> {
+        self.lines.sort_by_key(|l| l.last_used);
+        let drained: Vec<LineAddr> = self.lines.drain(..).map(|l| l.line).collect();
+        self.stats.store_transactions += drained.len() as u64;
+        drained
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> WriteCacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (keeps contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = WriteCacheStats::default();
+    }
+}
+
+/// Bitmask of the words in a line touched by an access.
+fn word_mask(addr: u64, bytes: u32) -> u8 {
+    let first = (addr % (WORDS_PER_LINE as u64 * 4)) / 4;
+    let words = bytes.div_ceil(4).max(1);
+    let mut mask = 0u8;
+    for w in 0..words as u64 {
+        if first + w < WORDS_PER_LINE as u64 {
+            mask |= 1 << (first + w);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coalescing_inner_loop_index() {
+        // Repeated writes to the same address (loop index) hit after the
+        // first — the first pattern §2.3 calls out.
+        let mut wc = WriteCache::new(4);
+        assert!(!wc.store(0x2000, 4, 0).hit);
+        for i in 1..10 {
+            assert!(wc.store(0x2000, 4, i).hit);
+        }
+        let s = wc.stats();
+        assert_eq!(s.store_hits, 9);
+        assert_eq!(s.store_transactions, 0);
+    }
+
+    #[test]
+    fn vector_stores_one_transaction_per_eight_words() {
+        // Sequential vector-like writes: 8 words per line, one transaction
+        // per line on eviction — the second pattern §2.3 calls out.
+        let mut wc = WriteCache::new(4);
+        for w in 0..64u64 {
+            wc.store(0x4000 + w * 4, 4, w);
+        }
+        let drained = wc.flush();
+        let s = wc.stats();
+        // 64 stores, 8 lines total: 4 evictions + 4 flushed.
+        assert_eq!(s.store_accesses, 64);
+        assert_eq!(s.store_hits, 64 - 8);
+        assert_eq!(s.store_transactions, 8);
+        assert_eq!(drained.len(), 4);
+        assert!(s.traffic_ratio() < 0.2);
+    }
+
+    #[test]
+    fn eviction_is_lru() {
+        let mut wc = WriteCache::new(2);
+        wc.store(0x1000, 4, 0); // A
+        wc.store(0x2000, 4, 1); // B
+        wc.store(0x1004, 4, 2); // touch A
+        let out = wc.store(0x3000, 4, 3); // evicts B
+        assert_eq!(out.evicted, Some(Geometry::new(64, 32).line(0x2000)));
+    }
+
+    #[test]
+    fn load_probe_requires_valid_words() {
+        let mut wc = WriteCache::new(2);
+        wc.store(0x1000, 4, 0);
+        assert!(wc.load_probe(0x1000, 4));
+        assert!(!wc.load_probe(0x1004, 4), "adjacent word not written");
+        assert!(wc.contains_line(0x1004), "but the line is resident");
+        assert!(!wc.load_probe(0x5000, 4));
+        assert_eq!(wc.stats().load_accesses, 3);
+        assert_eq!(wc.stats().load_hits, 1);
+    }
+
+    #[test]
+    fn double_word_store_sets_two_words() {
+        let mut wc = WriteCache::new(2);
+        wc.store(0x1000, 8, 0); // sdc1
+        assert!(wc.load_probe(0x1000, 4));
+        assert!(wc.load_probe(0x1004, 4));
+    }
+
+    #[test]
+    fn micro_tlb_validation() {
+        let mut wc = WriteCache::new(4);
+        // First store to a page: needs validation.
+        assert!(wc.store(0x1000, 4, 0).needs_validation);
+        // Same page: covered by the micro-TLB.
+        assert!(!wc.store(0x1800, 4, 1).needs_validation);
+        // Different page: needs validation again.
+        assert!(wc.store(0x9000, 4, 2).needs_validation);
+        assert_eq!(wc.stats().validations, 2);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut wc = WriteCache::new(4);
+        wc.store(0x1000, 4, 0);
+        wc.store(0x2000, 4, 1);
+        assert_eq!(wc.occupancy(), 2);
+        let lines = wc.flush();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(wc.occupancy(), 0);
+        assert_eq!(wc.stats().store_transactions, 2);
+    }
+
+    #[test]
+    fn larger_write_cache_has_higher_hit_rate() {
+        // Strided writes over several active lines: 8 lines keep all
+        // streams resident, 2 lines thrash — Table 5's trend.
+        // Stream 0 is touched most often, stream 5 rarely; each stream
+        // walks its own region word by word.
+        let pattern = [0usize, 1, 0, 2, 0, 1, 3, 0, 1, 2, 4, 5];
+        let rates: Vec<f64> = [2usize, 4, 8]
+            .into_iter()
+            .map(|cap| {
+                let mut wc = WriteCache::new(cap);
+                let mut counts = [0u64; 6];
+                for (t, round) in (0..600u64).enumerate() {
+                    let stream = pattern[round as usize % pattern.len()];
+                    let k = counts[stream];
+                    counts[stream] += 1;
+                    let addr = 0x10000 * stream as u64 + (k / 8) * 32 + (k % 8) * 4;
+                    wc.store(addr, 4, t as u64);
+                }
+                wc.stats().hit_rate()
+            })
+            .collect();
+        assert!(rates[0] < rates[1] && rates[1] < rates[2], "{rates:?}");
+    }
+
+    proptest! {
+        /// No store is ever lost: every line that was allocated is either
+        /// still resident or was reported as a transaction.
+        #[test]
+        fn conservation_of_lines(addrs in proptest::collection::vec(0u64..1 << 16, 1..300)) {
+            let mut wc = WriteCache::new(4);
+            let mut evicted = 0u64;
+            let mut allocated = 0u64;
+            for (i, &a) in addrs.iter().enumerate() {
+                let out = wc.store(a, 4, i as u64);
+                if !out.hit {
+                    allocated += 1;
+                }
+                if out.evicted.is_some() {
+                    evicted += 1;
+                }
+            }
+            let resident = wc.occupancy() as u64;
+            prop_assert_eq!(allocated, evicted + resident);
+            let flushed = wc.flush().len() as u64;
+            prop_assert_eq!(flushed, resident);
+            prop_assert_eq!(wc.stats().store_transactions, evicted + flushed);
+        }
+
+        /// A load probe immediately after a store to the same word hits.
+        #[test]
+        fn store_then_load_hits(a in (0u64..1 << 20).prop_map(|a| a & !3)) {
+            let mut wc = WriteCache::new(2);
+            wc.store(a, 4, 0);
+            prop_assert!(wc.load_probe(a, 4));
+        }
+
+        /// Hit rate is monotone non-decreasing in capacity for any store
+        /// stream (more lines never evict earlier).
+        #[test]
+        fn capacity_monotonicity(addrs in proptest::collection::vec(0u64..1 << 14, 10..200)) {
+            let mut prev = -1.0f64;
+            for cap in [1usize, 2, 4, 8] {
+                let mut wc = WriteCache::new(cap);
+                for (i, &a) in addrs.iter().enumerate() {
+                    wc.store(a & !3, 4, i as u64);
+                }
+                let rate = wc.stats().hit_rate();
+                prop_assert!(rate >= prev - 1e-12, "cap {cap}: {rate} < {prev}");
+                prev = rate;
+            }
+        }
+
+        /// Validation only triggers when no resident line shares the page.
+        #[test]
+        fn validation_matches_page_residency(
+            pages in proptest::collection::vec(0u64..4, 1..100),
+        ) {
+            let mut wc = WriteCache::new(8);
+            let mut resident_pages = std::collections::HashSet::new();
+            for (i, &p) in pages.iter().enumerate() {
+                let addr = p * PAGE_BYTES + ((i as u64 % 8) * 32);
+                let out = wc.store(addr, 4, i as u64);
+                prop_assert_eq!(out.needs_validation, !resident_pages.contains(&p));
+                // Recompute residency from scratch (8 lines, FIFO-ish LRU):
+                // conservatively track via the cache itself.
+                resident_pages.clear();
+                for probe_page in 0..4u64 {
+                    for line in 0..8u64 {
+                        if wc.contains_line(probe_page * PAGE_BYTES + line * 32) {
+                            resident_pages.insert(probe_page);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! SPEC92-like synthetic workloads for the Aurora III study.
+//!
+//! The paper evaluates the architecture with the SPEC92 integer and
+//! floating-point suites (§4.1). Those binaries and the authors' traces
+//! are not available, so this crate provides *from-scratch kernels*, one
+//! per benchmark, each written in mini-MIPS assembly and mimicking its
+//! benchmark's dominant behaviour: instruction mix, working-set size,
+//! branch character, store coalescing opportunity and floating-point
+//! operation blend. The kernels execute on the functional
+//! [`Emulator`](aurora_isa::Emulator) to produce the dynamic traces that
+//! drive the cycle-level simulator.
+//!
+//! * [`IntBenchmark`] — espresso, li, eqntott, compress, sc, gcc,
+//! * [`FpBenchmark`] — alvinn, doduc, ear, hydro2d, mdljdp2, nasa7, ora,
+//!   spice2g6, su2cor,
+//! * [`synthetic`] — a parameterised statistical trace generator for
+//!   controlled experiments and stress tests.
+//!
+//! # Example
+//!
+//! ```
+//! use aurora_workloads::{IntBenchmark, Scale};
+//!
+//! let espresso = IntBenchmark::Espresso.workload(Scale::Test);
+//! let trace = espresso.trace().unwrap();
+//! assert!(trace.stats.total > 10_000);
+//! assert!(trace.stats.memory_fraction() > 0.05);
+//! ```
+
+mod floating;
+mod integer;
+pub mod synthetic;
+mod workload;
+
+pub use floating::{FpBenchmark, FpLoadWidth};
+pub use integer::IntBenchmark;
+pub use workload::{Scale, Trace, Workload, WorkloadError};

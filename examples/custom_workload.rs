@@ -1,0 +1,88 @@
+//! Bring your own kernel: write mini-MIPS assembly, trace it, and compare
+//! machine models with a full stall-cycle breakdown.
+//!
+//! The kernel here is an in-place matrix transpose — a classic stride
+//! troublemaker for direct-mapped caches.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use aurora3::core::{IssueWidth, MachineModel, Simulator, StallKind};
+use aurora3::isa::{Assembler, Emulator};
+use aurora3::mem::LatencyModel;
+
+const N: u32 = 64; // 64x64 words = 16 KB
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = format!(
+        r#"
+        .data
+        matrix: .space {bytes}
+        .text
+        main:
+            # transpose the upper triangle: swap m[i][j] with m[j][i]
+            li   $s0, 0            # i
+        rowl:
+            addiu $s1, $s0, 1      # j = i + 1
+        coll:
+            # &m[i][j] = base + (i*N + j) * 4
+            sll  $t0, $s0, {shift}
+            addu $t0, $t0, $s1
+            sll  $t0, $t0, 2
+            la   $t1, matrix
+            addu $t1, $t1, $t0
+            # &m[j][i]
+            sll  $t2, $s1, {shift}
+            addu $t2, $t2, $s0
+            sll  $t2, $t2, 2
+            la   $t3, matrix
+            addu $t3, $t3, $t2
+            lw   $t4, 0($t1)
+            lw   $t5, 0($t3)
+            sw   $t5, 0($t1)
+            sw   $t4, 0($t3)
+            addiu $s1, $s1, 1
+            li   $t6, {n}
+            bne  $s1, $t6, coll
+            nop
+            addiu $s0, $s0, 1
+            li   $t6, {nm1}
+            bne  $s0, $t6, rowl
+            nop
+            break
+        "#,
+        bytes = N * N * 4,
+        shift = N.trailing_zeros(),
+        n = N,
+        nm1 = N - 1,
+    );
+    let program = Assembler::new().assemble(&source)?;
+
+    println!("transpose of a {N}x{N} word matrix\n");
+    println!(
+        "{:<10} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "model", "CPI", "D$%", "Load", "LSU", "ROB", "I$"
+    );
+    for model in MachineModel::ALL {
+        let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let mut sim = Simulator::new(&cfg);
+        let mut emu = Emulator::new(&program);
+        emu.run_traced(10_000_000, |op| sim.feed(op))?;
+        let stats = sim.finish();
+        println!(
+            "{:<10} {:>8.3} {:>7.2} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            model.to_string(),
+            stats.cpi(),
+            100.0 * stats.dcache.hit_rate(),
+            stats.stall_cpi(StallKind::Load),
+            stats.stall_cpi(StallKind::LsuBusy),
+            stats.stall_cpi(StallKind::RobFull),
+            stats.stall_cpi(StallKind::ICache),
+        );
+    }
+    println!("\nThe column-side accesses stride {N} words, so they miss in every");
+    println!("model until the working set fits — watch the D$ hit rate climb");
+    println!("from the 16 KB small model to the 64 KB large model.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: assemble a small program, run it functionally, and measure
+//! it on the paper's baseline machine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aurora3::core::{simulate_program, IssueWidth, MachineModel};
+use aurora3::isa::{Assembler, Emulator, Reg};
+use aurora3::mem::LatencyModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny kernel: sum an array of 64 words.
+    let program = Assembler::new().assemble(
+        r#"
+        .data
+        numbers: .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+                 .word 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32
+                 .word 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48
+                 .word 49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63, 64
+        .text
+        main:
+            la   $s0, numbers
+            li   $s1, 64
+            li   $v0, 0
+        loop:
+            lw   $t0, 0($s0)
+            addu $v0, $v0, $t0
+            addiu $s0, $s0, 4
+            addiu $s1, $s1, -1
+            bgtz $s1, loop
+            nop
+            break
+        "#,
+    )?;
+
+    // 1. Functional execution: check the answer.
+    let mut emu = Emulator::new(&program);
+    emu.run(100_000)?;
+    println!("sum(1..=64) = {} (expected 2080)", emu.reg(Reg::V0));
+    assert_eq!(emu.reg(Reg::V0), 2080);
+
+    // 2. Cycle-level simulation on the paper's three machine models.
+    println!("\n{:<10} {:>8} {:>8}", "model", "cycles", "CPI");
+    for model in MachineModel::ALL {
+        let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let stats = simulate_program(&cfg, &program, 100_000)?;
+        println!("{:<10} {:>8} {:>8.3}", model.to_string(), stats.cycles, stats.cpi());
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Controlled-experiment harness: the statistical trace generator lets
+//! you isolate a single mechanism. Here: how the miss-level parallelism
+//! exposed by MSHRs interacts with the fraction of random (unprefetchable)
+//! misses.
+//!
+//! ```text
+//! cargo run --release --example synthetic_stress
+//! ```
+
+use aurora3::core::{simulate, IssueWidth, MachineModel};
+use aurora3::mem::LatencyModel;
+use aurora3::workloads::synthetic::SyntheticConfig;
+
+fn main() {
+    println!("rows: sequential-access probability; columns: MSHR count\n");
+    print!("{:>6}", "seq%");
+    for mshrs in 1..=4 {
+        print!(" {:>8}", format!("{mshrs} MSHR"));
+    }
+    println!();
+
+    for seq in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        print!("{:>6}", format!("{:.0}", seq * 100.0));
+        for mshrs in 1..=4usize {
+            let trace = SyntheticConfig {
+                instructions: 200_000,
+                load_fraction: 0.30,
+                store_fraction: 0.10,
+                branch_fraction: 0.10,
+                data_working_set: 512 * 1024, // far beyond the 16 KB cache
+                sequential_data_prob: seq,
+                seed: 42,
+                ..Default::default()
+            };
+            let mut cfg = MachineModel::Small.config(IssueWidth::Single, LatencyModel::Fixed(17));
+            cfg.mshr_entries = mshrs;
+            let stats = simulate(&cfg, trace.generate());
+            print!(" {:>8.3}", stats.cpi());
+        }
+        println!();
+    }
+
+    println!("\nTwo effects overlay: more MSHRs overlap the random misses");
+    println!("(left columns, every row), while the stream buffers erase the");
+    println!("sequential ones (bottom rows) — the paper's Figures 5 and 7 in");
+    println!("one synthetic experiment.");
+}

@@ -1,0 +1,165 @@
+//! Differential tests of the functional emulator: every ALU operation is
+//! checked against Rust's own arithmetic on randomised operands, using
+//! single-instruction programs built through the public API.
+
+use aurora3::isa::{Emulator, Instruction, Opcode, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// Runs one R-type ALU instruction on the given operand values and
+/// returns the destination register.
+fn run_alu_r(op: Opcode, a: u32, b: u32) -> u32 {
+    let mut builder = ProgramBuilder::new();
+    builder.load_imm(Reg::T0, a as i32);
+    builder.load_imm(Reg::T1, b as i32);
+    builder.push(Instruction::alu_r(op, Reg::T2, Reg::T0, Reg::T1));
+    builder.push(Instruction::system(Opcode::Break));
+    let program = builder.build();
+    let mut emu = Emulator::new(&program);
+    emu.run(100).unwrap();
+    emu.reg(Reg::T2)
+}
+
+fn run_shift(op: Opcode, v: u32, sh: u8) -> u32 {
+    let mut builder = ProgramBuilder::new();
+    builder.load_imm(Reg::T0, v as i32);
+    builder.push(Instruction::shift(op, Reg::T2, Reg::T0, sh));
+    builder.push(Instruction::system(Opcode::Break));
+    let program = builder.build();
+    let mut emu = Emulator::new(&program);
+    emu.run(100).unwrap();
+    emu.reg(Reg::T2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alu_r_semantics(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(run_alu_r(Opcode::Addu, a, b), a.wrapping_add(b));
+        prop_assert_eq!(run_alu_r(Opcode::Subu, a, b), a.wrapping_sub(b));
+        prop_assert_eq!(run_alu_r(Opcode::And, a, b), a & b);
+        prop_assert_eq!(run_alu_r(Opcode::Or, a, b), a | b);
+        prop_assert_eq!(run_alu_r(Opcode::Xor, a, b), a ^ b);
+        prop_assert_eq!(run_alu_r(Opcode::Nor, a, b), !(a | b));
+        prop_assert_eq!(run_alu_r(Opcode::Slt, a, b), ((a as i32) < (b as i32)) as u32);
+        prop_assert_eq!(run_alu_r(Opcode::Sltu, a, b), (a < b) as u32);
+    }
+
+    #[test]
+    fn shift_semantics(v in any::<u32>(), sh in 0u8..32) {
+        prop_assert_eq!(run_shift(Opcode::Sll, v, sh), v << sh);
+        prop_assert_eq!(run_shift(Opcode::Srl, v, sh), v >> sh);
+        prop_assert_eq!(run_shift(Opcode::Sra, v, sh), ((v as i32) >> sh) as u32);
+    }
+
+    #[test]
+    fn mult_div_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let mut builder = ProgramBuilder::new();
+        builder.load_imm(Reg::T0, a);
+        builder.load_imm(Reg::T1, b);
+        builder.push(Instruction::mul_div(Opcode::Mult, Reg::T0, Reg::T1));
+        builder.push(Instruction::hi_lo(Opcode::Mflo, Reg::T2));
+        builder.push(Instruction::hi_lo(Opcode::Mfhi, Reg::T3));
+        builder.push(Instruction::system(Opcode::Break));
+        let program = builder.build();
+        let mut emu = Emulator::new(&program);
+        emu.run(100).unwrap();
+        let product = i64::from(a) * i64::from(b);
+        prop_assert_eq!(emu.reg(Reg::T2), product as u32);
+        prop_assert_eq!(emu.reg(Reg::T3), (product >> 32) as u32);
+    }
+
+    #[test]
+    fn memory_round_trips(value in any::<u32>(), slot in 0u32..64) {
+        let mut builder = ProgramBuilder::new();
+        let buf = builder.data_space(256);
+        builder.load_data_addr(Reg::S0, buf);
+        builder.load_imm(Reg::T0, value as i32);
+        builder.push(Instruction::mem(Opcode::Sw, Reg::T0, Reg::S0, (slot * 4) as i16));
+        builder.push(Instruction::mem(Opcode::Lw, Reg::T1, Reg::S0, (slot * 4) as i16));
+        builder.push(Instruction::mem(Opcode::Lb, Reg::T2, Reg::S0, (slot * 4) as i16));
+        builder.push(Instruction::mem(Opcode::Lbu, Reg::T3, Reg::S0, (slot * 4) as i16));
+        builder.push(Instruction::mem(Opcode::Lhu, Reg::T4, Reg::S0, (slot * 4) as i16));
+        builder.push(Instruction::system(Opcode::Break));
+        let program = builder.build();
+        let mut emu = Emulator::new(&program);
+        emu.run(100).unwrap();
+        prop_assert_eq!(emu.reg(Reg::T1), value);
+        prop_assert_eq!(emu.reg(Reg::T2), value as u8 as i8 as i32 as u32);
+        prop_assert_eq!(emu.reg(Reg::T3), u32::from(value as u8));
+        prop_assert_eq!(emu.reg(Reg::T4), u32::from(value as u16));
+    }
+
+    #[test]
+    fn fp_double_arithmetic(a in -1.0e6f64..1.0e6, b in 0.5f64..1.0e6) {
+        use aurora3::isa::Assembler;
+        let src = format!(
+            r#"
+            .data
+            .align 3
+            vals: .double {a:.10}, {b:.10}
+            out: .space 32
+            .text
+                la   $t0, vals
+                ldc1 $f2, 0($t0)
+                ldc1 $f4, 8($t0)
+                add.d $f6, $f2, $f4
+                mul.d $f8, $f2, $f4
+                div.d $f10, $f2, $f4
+                sub.d $f12, $f2, $f4
+                break
+            "#
+        );
+        let program = Assembler::new().assemble(&src).unwrap();
+        let mut emu = Emulator::new(&program);
+        emu.run(1000).unwrap();
+        let f = |n: u8| emu.freg_double(aurora3::isa::FReg::new(n).unwrap());
+        // Text formatting rounds the inputs; compare against the parsed
+        // values the program actually saw.
+        let pa = f(2);
+        let pb = f(4);
+        prop_assert_eq!(f(6), pa + pb);
+        prop_assert_eq!(f(8), pa * pb);
+        prop_assert_eq!(f(10), pa / pb);
+        prop_assert_eq!(f(12), pa - pb);
+    }
+}
+
+/// Immediate-operand instructions: zero vs sign extension rules.
+#[test]
+fn immediate_extension_rules() {
+    let run = |op: Opcode, base: i32, imm: i16| -> u32 {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(Reg::T0, base);
+        b.push(Instruction::alu_i(op, Reg::T1, Reg::T0, imm));
+        b.push(Instruction::system(Opcode::Break));
+        let p = b.build();
+        let mut emu = Emulator::new(&p);
+        emu.run(100).unwrap();
+        emu.reg(Reg::T1)
+    };
+    // addiu sign-extends.
+    assert_eq!(run(Opcode::Addiu, 10, -3), 7);
+    // andi/ori/xori zero-extend.
+    assert_eq!(run(Opcode::Andi, -1, -1), 0x0000_FFFF);
+    assert_eq!(run(Opcode::Ori, 0, -1), 0x0000_FFFF);
+    assert_eq!(run(Opcode::Xori, 0x00FF, 0x0F0Fu16 as i16), 0x0FF0);
+    // slti compares sign-extended; sltiu compares the sign-extended
+    // immediate as unsigned.
+    assert_eq!(run(Opcode::Slti, -5, -3), 1);
+    assert_eq!(run(Opcode::Sltiu, 5, -1), 1, "0xFFFFFFFF as unsigned is huge");
+}
+
+/// Variable shifts mask the shift amount to five bits, as on real MIPS.
+#[test]
+fn variable_shifts_mask_amount() {
+    let mut b = ProgramBuilder::new();
+    b.load_imm(Reg::T0, 1);
+    b.load_imm(Reg::T1, 33); // 33 & 31 == 1
+    b.push(Instruction::shift_v(Opcode::Sllv, Reg::T2, Reg::T0, Reg::T1));
+    b.push(Instruction::system(Opcode::Break));
+    let p = b.build();
+    let mut emu = Emulator::new(&p);
+    emu.run(100).unwrap();
+    assert_eq!(emu.reg(Reg::T2), 2);
+}

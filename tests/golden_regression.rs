@@ -1,0 +1,63 @@
+//! Golden-value regression tests: exact cycle counts for pinned
+//! configurations and workloads. Any intentional change to the timing
+//! model must update these values (and explain the shift in the commit);
+//! an unintentional change fails here first. This is standard practice
+//! for cycle-level simulators.
+
+use aurora3::core::{IssueWidth, MachineModel, Simulator};
+use aurora3::mem::LatencyModel;
+use aurora3::workloads::{synthetic::SyntheticConfig, FpBenchmark, IntBenchmark, Scale};
+
+const GOLDEN: &[(&str, u64, u64)] = &[
+    ("eqntott-small-single", 1_569_423, 575_330),
+    ("eqntott-base-dual", 1_048_634, 575_330),
+    ("eqntott-large-dual", 610_270, 575_330),
+    ("su2cor-base-dual", 216_733, 98_386),
+    ("synthetic-base-dual", 100_909, 20_000),
+];
+
+fn lookup(name: &str) -> (u64, u64) {
+    let (_, c, i) = GOLDEN.iter().find(|(n, ..)| *n == name).unwrap();
+    (*c, *i)
+}
+
+#[test]
+fn integer_kernel_goldens() {
+    for (name, model, issue) in [
+        ("eqntott-small-single", MachineModel::Small, IssueWidth::Single),
+        ("eqntott-base-dual", MachineModel::Baseline, IssueWidth::Dual),
+        ("eqntott-large-dual", MachineModel::Large, IssueWidth::Dual),
+    ] {
+        let cfg = model.config(issue, LatencyModel::Fixed(17));
+        let w = IntBenchmark::Eqntott.workload(Scale::Test);
+        let mut sim = Simulator::new(&cfg);
+        w.run_traced(|op| sim.feed(op)).unwrap();
+        let s = sim.finish();
+        let (cycles, instructions) = lookup(name);
+        assert_eq!((s.cycles, s.instructions), (cycles, instructions), "{name}");
+    }
+}
+
+#[test]
+fn fp_kernel_golden() {
+    let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    let w = FpBenchmark::Su2cor.workload(Scale::Test);
+    let mut sim = Simulator::new(&cfg);
+    w.run_traced(|op| sim.feed(op)).unwrap();
+    let s = sim.finish();
+    let (cycles, instructions) = lookup("su2cor-base-dual");
+    assert_eq!((s.cycles, s.instructions), (cycles, instructions));
+}
+
+#[test]
+fn synthetic_golden() {
+    let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    let syn = SyntheticConfig { instructions: 20_000, ..Default::default() };
+    let mut sim = Simulator::new(&cfg);
+    for op in syn.generate() {
+        sim.feed(op);
+    }
+    let s = sim.finish();
+    let (cycles, instructions) = lookup("synthetic-base-dual");
+    assert_eq!((s.cycles, s.instructions), (cycles, instructions));
+}

@@ -1,0 +1,288 @@
+//! Integration tests asserting the paper's headline findings hold on the
+//! full pipeline: kernels -> emulator -> trace -> cycle simulator.
+//!
+//! These encode *shape*, not absolute numbers (see EXPERIMENTS.md).
+
+use aurora3::core::{
+    simulate, FpIssuePolicy, IssueWidth, MachineConfig, MachineModel, SimStats, Simulator,
+    StallKind,
+};
+use aurora3::mem::LatencyModel;
+use aurora3::workloads::{FpBenchmark, IntBenchmark, Scale};
+
+fn run(cfg: &MachineConfig, bench: IntBenchmark) -> SimStats {
+    let w = bench.workload(Scale::Test);
+    let mut sim = Simulator::new(cfg);
+    w.run_traced(|op| sim.feed(op)).expect("kernel runs");
+    sim.finish()
+}
+
+fn suite_avg_cpi(cfg: &MachineConfig) -> f64 {
+    let total: f64 = IntBenchmark::ALL.iter().map(|&b| run(cfg, b).cpi()).sum();
+    total / IntBenchmark::ALL.len() as f64
+}
+
+fn cfg(model: MachineModel, issue: IssueWidth, latency: u32) -> MachineConfig {
+    model.config(issue, LatencyModel::Fixed(latency))
+}
+
+/// §5.1 / Figure 4: bigger models are faster; dual issue helps the
+/// baseline and large models at short latency.
+#[test]
+fn models_order_and_dual_issue_gains() {
+    let small = suite_avg_cpi(&cfg(MachineModel::Small, IssueWidth::Dual, 17));
+    let base = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Dual, 17));
+    let large = suite_avg_cpi(&cfg(MachineModel::Large, IssueWidth::Dual, 17));
+    assert!(small > base && base > large, "{small} {base} {large}");
+
+    let base_single = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Single, 17));
+    assert!(base < base_single, "dual must beat single on baseline at L17");
+}
+
+/// §5.1: the single-issue baseline outperforms the dual-issue small model
+/// at similar hardware cost.
+#[test]
+fn single_baseline_beats_dual_small() {
+    let base_single = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Single, 17));
+    let small_dual = suite_avg_cpi(&cfg(MachineModel::Small, IssueWidth::Dual, 17));
+    assert!(base_single < small_dual, "{base_single} vs {small_dual}");
+    let cost_base = aurora3::cost::ipu_cost(&cfg(MachineModel::Baseline, IssueWidth::Single, 17));
+    let cost_small = aurora3::cost::ipu_cost(&cfg(MachineModel::Small, IssueWidth::Dual, 17));
+    let ratio = cost_base.as_f64() / cost_small.as_f64();
+    assert!((0.8..1.25).contains(&ratio), "similar cost: {ratio}");
+}
+
+/// §4.2 / Figure 4: longer memory latency raises CPI everywhere and makes
+/// dual issue less attractive.
+#[test]
+fn longer_latency_hurts_and_narrows_dual_gain() {
+    let base17d = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Dual, 17));
+    let base35d = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Dual, 35));
+    assert!(base35d > base17d);
+
+    let base17s = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Single, 17));
+    let base35s = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Single, 35));
+    let gain17 = (base17s - base17d) / base17s;
+    let gain35 = (base35s - base35d) / base35s;
+    assert!(
+        gain35 < gain17 + 0.02,
+        "dual gain should not grow with latency: {gain17} -> {gain35}"
+    );
+}
+
+/// §5.2 / Figure 5: prefetching helps the baseline model substantially.
+#[test]
+fn prefetch_benefits_baseline() {
+    let with = cfg(MachineModel::Baseline, IssueWidth::Dual, 17);
+    let mut without = with.clone();
+    without.prefetch_enabled = false;
+    let c_with = suite_avg_cpi(&with);
+    let c_without = suite_avg_cpi(&without);
+    let gain = (c_without - c_with) / c_without;
+    assert!(gain > 0.05, "baseline prefetch gain {gain}");
+}
+
+/// §5.2: prefetching helps more at 35-cycle latency than at 17.
+#[test]
+fn prefetch_helps_more_at_long_latency() {
+    let gain = |latency: u32| -> f64 {
+        let with = cfg(MachineModel::Baseline, IssueWidth::Dual, latency);
+        let mut without = with.clone();
+        without.prefetch_enabled = false;
+        let cw = suite_avg_cpi(&with);
+        let co = suite_avg_cpi(&without);
+        (co - cw) / co
+    };
+    assert!(gain(35) > gain(17), "{} vs {}", gain(35), gain(17));
+}
+
+/// §5.4 / Figure 7: the small model improves markedly with a second MSHR;
+/// no model gets worse with more.
+#[test]
+fn mshrs_help_monotonically() {
+    for model in MachineModel::ALL {
+        let mut prev = f64::INFINITY;
+        for mshrs in 1..=4usize {
+            let mut c = cfg(model, IssueWidth::Dual, 17);
+            c.mshr_entries = mshrs;
+            let cpi = suite_avg_cpi(&c);
+            assert!(cpi <= prev * 1.01, "{model}: {mshrs} MSHRs worsened {prev} -> {cpi}");
+            prev = cpi;
+        }
+    }
+    let mut one = cfg(MachineModel::Small, IssueWidth::Dual, 17);
+    one.mshr_entries = 1;
+    let mut two = one.clone();
+    two.mshr_entries = 2;
+    let gain = (suite_avg_cpi(&one) - suite_avg_cpi(&two)) / suite_avg_cpi(&one);
+    assert!(gain > 0.01, "small model second MSHR gain {gain}");
+}
+
+/// §5.5 / Table 5: write-cache hit rate rises and store traffic falls
+/// from the small to the large model.
+#[test]
+fn write_cache_improves_with_size() {
+    let stats = |model: MachineModel| -> (f64, f64) {
+        let c = cfg(model, IssueWidth::Dual, 17);
+        let mut hit = 0.0;
+        let mut traffic = 0.0;
+        for &b in &IntBenchmark::ALL {
+            let s = run(&c, b);
+            hit += s.write_cache.hit_rate();
+            traffic += s.write_cache.traffic_ratio();
+        }
+        let n = IntBenchmark::ALL.len() as f64;
+        (hit / n, traffic / n)
+    };
+    let (small_hit, small_traffic) = stats(MachineModel::Small);
+    let (large_hit, large_traffic) = stats(MachineModel::Large);
+    assert!(large_hit > small_hit, "{small_hit} -> {large_hit}");
+    assert!(large_traffic < small_traffic, "{small_traffic} -> {large_traffic}");
+    // The write cache cuts traffic to well under half of store count.
+    assert!(large_traffic < 0.5, "{large_traffic}");
+}
+
+/// §5.3 / Figure 6: load stalls from the 3-cycle pipelined data cache
+/// dominate the large model; instruction stalls fade as the I$ grows.
+#[test]
+fn stall_structure_matches_figure6() {
+    let breakdown = |model: MachineModel| -> (f64, f64) {
+        let c = cfg(model, IssueWidth::Dual, 17);
+        let mut icache = 0.0;
+        let mut load = 0.0;
+        for &b in &IntBenchmark::ALL {
+            let s = run(&c, b);
+            icache += s.stall_cpi(StallKind::ICache);
+            load += s.stall_cpi(StallKind::Load);
+        }
+        let n = IntBenchmark::ALL.len() as f64;
+        (icache / n, load / n)
+    };
+    let (small_icache, _) = breakdown(MachineModel::Small);
+    let (large_icache, large_load) = breakdown(MachineModel::Large);
+    assert!(small_icache > large_icache, "I$ stalls shrink with size");
+    assert!(large_load > large_icache, "large model dominated by load stalls");
+}
+
+/// §5.8 / Table 6: out-of-order completion beats in-order completion on
+/// the FP suite; dual issue never loses to single.
+#[test]
+fn fpu_policies_order() {
+    let avg = |policy: FpIssuePolicy| -> f64 {
+        let mut total = 0.0;
+        for b in FpBenchmark::ALL {
+            let w = b.workload(Scale::Test);
+            let mut c = cfg(MachineModel::Baseline, IssueWidth::Dual, 17);
+            c.fpu.issue_policy = policy;
+            let mut sim = Simulator::new(&c);
+            w.run_traced(|op| sim.feed(op)).expect("kernel runs");
+            total += sim.finish().cpi();
+        }
+        total / FpBenchmark::ALL.len() as f64
+    };
+    let in_order = avg(FpIssuePolicy::InOrderComplete);
+    let single = avg(FpIssuePolicy::OutOfOrderSingle);
+    let dual = avg(FpIssuePolicy::OutOfOrderDual);
+    assert!(single < in_order * 0.95, "{in_order} -> {single}");
+    assert!(dual <= single + 1e-9, "{single} -> {dual}");
+}
+
+/// §5.10: functional-unit latency has a modest CPI impact — shorter is
+/// better, monotonically.
+#[test]
+fn fp_latency_monotone() {
+    let avg = |mutator: &dyn Fn(&mut MachineConfig)| -> f64 {
+        let mut total = 0.0;
+        for b in [FpBenchmark::Nasa7, FpBenchmark::Su2cor, FpBenchmark::Ear] {
+            let w = b.workload(Scale::Test);
+            let mut c = cfg(MachineModel::Baseline, IssueWidth::Dual, 17);
+            c.fpu.issue_policy = FpIssuePolicy::OutOfOrderSingle;
+            mutator(&mut c);
+            let mut sim = Simulator::new(&c);
+            w.run_traced(|op| sim.feed(op)).expect("kernel runs");
+            total += sim.finish().cpi();
+        }
+        total / 3.0
+    };
+    let mut prev = 0.0;
+    for lat in [1u32, 3, 5] {
+        let cpi = avg(&|c: &mut MachineConfig| c.fpu.mul_latency = lat);
+        assert!(cpi >= prev - 1e-9, "mul latency {lat}: {prev} -> {cpi}");
+        prev = cpi;
+    }
+}
+
+/// §5.9 extension: double-word FP loads never run more cycles than the
+/// two-32-bit-loads condition.
+#[test]
+fn doubleword_loads_save_cycles() {
+    let c = cfg(MachineModel::Baseline, IssueWidth::Dual, 17);
+    for b in [FpBenchmark::Alvinn, FpBenchmark::Hydro2d, FpBenchmark::Su2cor] {
+        let sw = {
+            let w = b.workload(Scale::Test);
+            let mut sim = Simulator::new(&c);
+            w.run_traced(|op| sim.feed(op)).unwrap();
+            sim.finish()
+        };
+        let dw = {
+            let w = b.workload_doubleword(Scale::Test);
+            let mut sim = Simulator::new(&c);
+            w.run_traced(|op| sim.feed(op)).unwrap();
+            sim.finish()
+        };
+        assert!(
+            dw.cycles <= sw.cycles,
+            "{b:?}: doubleword {} vs singleword {}",
+            dw.cycles,
+            sw.cycles
+        );
+    }
+}
+
+/// Cross-check: the base-model cache hit rates land near the paper's §5
+/// anchors (I$ 96.5%, D$ 95.4% — we accept a generous band since the
+/// workloads are synthetic).
+#[test]
+fn baseline_hit_rates_near_anchors() {
+    let c = cfg(MachineModel::Baseline, IssueWidth::Dual, 17);
+    let mut icache = 0.0;
+    let mut dcache = 0.0;
+    for &b in &IntBenchmark::ALL {
+        let s = run(&c, b);
+        icache += s.icache.hit_rate();
+        dcache += s.dcache.hit_rate();
+    }
+    let n = IntBenchmark::ALL.len() as f64;
+    let (icache, dcache) = (icache / n, dcache / n);
+    assert!((0.90..=0.995).contains(&icache), "I$ {icache}");
+    assert!((0.85..=0.99).contains(&dcache), "D$ {dcache}");
+}
+
+/// Determinism: the full pipeline is reproducible run to run.
+#[test]
+fn end_to_end_deterministic() {
+    let c = cfg(MachineModel::Baseline, IssueWidth::Dual, 17);
+    let one = run(&c, IntBenchmark::Gcc);
+    let two = run(&c, IntBenchmark::Gcc);
+    assert_eq!(one.cycles, two.cycles);
+    assert_eq!(one.instructions, two.instructions);
+    assert_eq!(one.stalls, two.stalls);
+}
+
+/// Sanity: CPI bounds hold for every kernel and model.
+#[test]
+fn cpi_bounds() {
+    for model in MachineModel::ALL {
+        let c = cfg(model, IssueWidth::Dual, 17);
+        for &b in &IntBenchmark::ALL {
+            let s = run(&c, b);
+            assert!(s.cpi() >= 0.5, "{model}/{b}: CPI {}", s.cpi());
+            assert!(s.cpi() < 20.0, "{model}/{b}: CPI {}", s.cpi());
+            assert!(s.cycles > 0 && s.instructions > 0);
+        }
+    }
+    let _ = simulate(
+        &cfg(MachineModel::Small, IssueWidth::Single, 17),
+        std::iter::empty(),
+    );
+}

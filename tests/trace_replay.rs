@@ -1,0 +1,61 @@
+//! End-to-end property: serialising a dynamic trace to the binary `.trc`
+//! format and replaying it through the simulator produces *identical*
+//! statistics to simulating the live trace — capture and replay are
+//! interchangeable, which is the point of trace-driven methodology.
+
+use aurora3::core::{simulate, IssueWidth, MachineModel};
+use aurora3::isa::{read_trace, write_trace, TraceOp};
+use aurora3::mem::LatencyModel;
+use aurora3::workloads::{synthetic::SyntheticConfig, FpBenchmark, IntBenchmark, Scale};
+
+fn round_trip(ops: &[TraceOp]) -> Vec<TraceOp> {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, ops.iter().copied()).unwrap();
+    read_trace(&buf[..])
+        .unwrap()
+        .collect::<std::io::Result<Vec<_>>>()
+        .unwrap()
+}
+
+#[test]
+fn kernel_trace_replays_identically() {
+    let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    for trace in [
+        IntBenchmark::Sc.workload(Scale::Test).trace().unwrap().ops,
+        FpBenchmark::Ear.workload(Scale::Test).trace().unwrap().ops,
+    ] {
+        let live = simulate(&cfg, trace.iter().copied());
+        let replayed = simulate(&cfg, round_trip(&trace));
+        assert_eq!(live.cycles, replayed.cycles);
+        assert_eq!(live.instructions, replayed.instructions);
+        assert_eq!(live.stalls, replayed.stalls);
+        assert_eq!(live.icache, replayed.icache);
+        assert_eq!(live.dcache, replayed.dcache);
+        assert_eq!(live.write_cache, replayed.write_cache);
+        assert_eq!(live.biu, replayed.biu);
+    }
+}
+
+#[test]
+fn synthetic_trace_replays_identically() {
+    let cfg = MachineModel::Small.config(IssueWidth::Single, LatencyModel::average_35());
+    let syn = SyntheticConfig {
+        instructions: 30_000,
+        fp_fraction: 0.1,
+        load_fraction: 0.25,
+        ..Default::default()
+    };
+    let ops: Vec<TraceOp> = syn.collect();
+    let live = simulate(&cfg, ops.iter().copied());
+    let replayed = simulate(&cfg, round_trip(&ops));
+    assert_eq!(live.cycles, replayed.cycles);
+    assert_eq!(live.stalls, replayed.stalls);
+}
+
+#[test]
+fn trace_file_size_is_predictable() {
+    let ops: Vec<TraceOp> = SyntheticConfig { instructions: 1000, ..Default::default() }.collect();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, ops.iter().copied()).unwrap();
+    assert_eq!(buf.len(), 16 + 20 * ops.len(), "header + fixed records");
+}
