@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, and check capture/replay
+# equivalence. Run from the repo root; exits non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== capture/replay equivalence =="
+cargo test -q --test packed_replay
+
+echo "CI OK"

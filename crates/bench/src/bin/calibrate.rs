@@ -2,7 +2,7 @@
 //! compared against the paper's §5 anchor numbers (base model I$ 96.5%,
 //! D$ 95.4%).
 
-use aurora_bench::harness::{cpi, integer_suite, pct, run, scale_from_args, TextTable};
+use aurora_bench::harness::{cpi, integer_suite, pct, run_suite, scale_from_args, TextTable};
 use aurora_core::{IssueWidth, MachineModel, StallKind};
 use aurora_mem::LatencyModel;
 
@@ -15,12 +15,11 @@ fn main() {
             "bench", "CPI", "I$%", "D$%", "Ipf%", "Dpf%", "WC%", "traffic", "fold%",
             "dual%", "stICa", "stLd", "stRob", "stLsu",
         ]);
-        for w in &suite {
-            let s = run(&cfg, w);
+        for (name, s) in run_suite(&cfg, &suite) {
             let folds = s.folded_branches as f64
                 / (s.folded_branches + s.unfolded_branches).max(1) as f64;
             t.row([
-                w.name().to_string(),
+                name.to_string(),
                 cpi(s.cpi()),
                 pct(s.icache.hit_rate()),
                 pct(s.dcache.hit_rate()),

@@ -10,7 +10,7 @@
 //! * **E** — the recommended machine: 4 KB I$, 4-line write cache,
 //!   6-entry ROB, 4 MSHRs.
 
-use aurora_bench::harness::{cpi, run, scale_from_args, TextTable};
+use aurora_bench::harness::{cpi, run_matrix, scale_from_args, TextTable};
 use aurora_core::{IssueWidth, MachineConfig, MachineModel};
 use aurora_cost::ipu_cost;
 use aurora_mem::LatencyModel;
@@ -40,7 +40,10 @@ fn main() {
     let scale = scale_from_args();
     let espresso = IntBenchmark::Espresso.workload(scale);
 
-    let mut t = TextTable::new(["point", "config", "cost RBE", "CPI"]);
+    // Collect every scatter point first, so espresso is captured once and
+    // all points replay in parallel through the matrix runner.
+    let mut labels: Vec<String> = Vec::new();
+    let mut configs: Vec<MachineConfig> = Vec::new();
 
     // Squares: single-issue systems of the three cache sizes + recommended.
     for kb in [1u32, 2, 4] {
@@ -49,10 +52,8 @@ fn main() {
             2 => Alloc(4, 6, 4, 2, true),
             _ => Alloc(8, 8, 8, 4, true),
         };
-        let cfg = config(kb, IssueWidth::Single, alloc);
-        let s = run(&cfg, &espresso);
-        let label = if kb == 1 { "sq/A" } else { "sq" };
-        t.row([label.to_string(), cfg.name.clone(), ipu_cost(&cfg).0.to_string(), cpi(s.cpi())]);
+        labels.push(if kb == 1 { "sq/A" } else { "sq" }.to_string());
+        configs.push(config(kb, IssueWidth::Single, alloc));
     }
 
     // Diamonds/triangles/circles: dual issue, 1/2/4 KB I-cache, eight
@@ -74,8 +75,6 @@ fn main() {
             _ => "cir",
         };
         for (i, &alloc) in allocs.iter().enumerate() {
-            let cfg = config(kb, IssueWidth::Dual, alloc);
-            let s = run(&cfg, &espresso);
             let note = match (kb, i) {
                 (_, 0) | (_, 2) => "/A",
                 (4, 3) => "/C",
@@ -84,13 +83,20 @@ fn main() {
                 (4, 7) => "/B",
                 _ => "",
             };
-            t.row([
-                format!("{shape}{note}"),
-                cfg.name.clone(),
-                ipu_cost(&cfg).0.to_string(),
-                cpi(s.cpi()),
-            ]);
+            labels.push(format!("{shape}{note}"));
+            configs.push(config(kb, IssueWidth::Dual, alloc));
         }
+    }
+
+    let grid = run_matrix(&configs, std::slice::from_ref(&espresso));
+    let mut t = TextTable::new(["point", "config", "cost RBE", "CPI"]);
+    for ((label, cfg), row) in labels.iter().zip(&configs).zip(&grid) {
+        t.row([
+            label.clone(),
+            cfg.name.clone(),
+            ipu_cost(cfg).0.to_string(),
+            cpi(row[0].cpi()),
+        ]);
     }
     println!("Figure 8: espresso full cost-performance scatter @ L17 (scale {scale})");
     println!("{}", t.render());

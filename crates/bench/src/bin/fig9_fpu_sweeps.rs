@@ -5,8 +5,8 @@
 //! `--ablation` additionally reruns the §5.10 pipelining study:
 //! non-pipelined add/multiply units cost less than 5 % performance.
 
-use aurora_bench::harness::{cpi, fp_suite, has_flag, run, scale_from_args, TextTable};
-use aurora_core::{FpIssuePolicy, IssueWidth, MachineConfig, MachineModel};
+use aurora_bench::harness::{cpi, fp_suite, has_flag, run_matrix, scale_from_args, TextTable};
+use aurora_core::{FpIssuePolicy, IssueWidth, MachineConfig, MachineModel, SimStats};
 use aurora_mem::LatencyModel;
 use aurora_workloads::Workload;
 
@@ -16,9 +16,14 @@ fn base_cfg() -> MachineConfig {
     cfg
 }
 
-fn avg_cpi(cfg: &MachineConfig, suite: &[Workload]) -> f64 {
-    let total: f64 = suite.iter().map(|w| run(cfg, w).cpi()).sum();
-    total / suite.len() as f64
+fn row_avg_cpi(row: &[SimStats]) -> f64 {
+    row.iter().map(SimStats::cpi).sum::<f64>() / row.len() as f64
+}
+
+/// Average suite CPI for each swept configuration, replayed in parallel
+/// from one set of captured traces.
+fn avg_cpis(configs: &[MachineConfig], suite: &[Workload]) -> Vec<f64> {
+    run_matrix(configs, suite).iter().map(|row| row_avg_cpi(row)).collect()
 }
 
 fn sweep(
@@ -27,19 +32,21 @@ fn sweep(
     suite: &[Workload],
     apply: impl Fn(&mut MachineConfig, u32),
 ) {
+    let configs: Vec<MachineConfig> = values
+        .iter()
+        .map(|&v| {
+            let mut cfg = base_cfg();
+            apply(&mut cfg, v);
+            cfg
+        })
+        .collect();
+    let cpis = avg_cpis(&configs, suite);
     let mut t = TextTable::new([title.to_string(), "avg CPI".to_string()]);
-    let mut first = None;
-    let mut last = 0.0;
-    for &v in values {
-        let mut cfg = base_cfg();
-        apply(&mut cfg, v);
-        let c = avg_cpi(&cfg, suite);
-        first.get_or_insert(c);
-        last = c;
+    for (&v, &c) in values.iter().zip(&cpis) {
         t.row([v.to_string(), cpi(c)]);
     }
     println!("{}", t.render());
-    let first = first.unwrap();
+    let (first, last) = (cpis[0], *cpis.last().unwrap());
     println!(
         "  swing across range: {:.1}%\n",
         100.0 * (first.max(last) - first.min(last)) / first.max(last)
@@ -91,13 +98,12 @@ fn main() {
     if has_flag("--ablation") {
         println!("\nSection 5.10 ablation: removing pipeline latches");
         let mut t = TextTable::new(["configuration", "avg CPI"]);
-        let pipelined = base_cfg();
-        let c0 = avg_cpi(&pipelined, &suite);
-        t.row(["pipelined add + mul".to_string(), cpi(c0)]);
         let mut both = base_cfg();
         both.fpu.add_pipelined = false;
         both.fpu.mul_pipelined = false;
-        let c1 = avg_cpi(&both, &suite);
+        let cpis = avg_cpis(&[base_cfg(), both], &suite);
+        let (c0, c1) = (cpis[0], cpis[1]);
+        t.row(["pipelined add + mul".to_string(), cpi(c0)]);
         t.row(["non-pipelined add + mul".to_string(), cpi(c1)]);
         println!("{}", t.render());
         println!(

@@ -11,8 +11,8 @@
 //! cargo run --release -p aurora-bench --bin optimize -- [--budget RBE] [--scale ...]
 //! ```
 
-use aurora_bench::harness::{cpi, scale_from_args, TextTable};
-use aurora_core::{IssueWidth, MachineConfig, MachineModel, Simulator};
+use aurora_bench::harness::{cpi, run_matrix, scale_from_args, TextTable};
+use aurora_core::{IssueWidth, MachineConfig, MachineModel};
 use aurora_cost::ipu_cost;
 use aurora_mem::LatencyModel;
 use aurora_workloads::{IntBenchmark, Workload};
@@ -48,18 +48,6 @@ fn design_space() -> Vec<MachineConfig> {
     out
 }
 
-fn avg_cpi(cfg: &MachineConfig, suite: &[Workload]) -> f64 {
-    let total: f64 = suite
-        .iter()
-        .map(|w| {
-            let mut sim = Simulator::new(cfg);
-            w.run_traced(|op| sim.feed(op)).expect("kernel runs");
-            sim.finish().cpi()
-        })
-        .sum();
-    total / suite.len() as f64
-}
-
 fn main() {
     let scale = scale_from_args();
     let budget: u64 = {
@@ -83,8 +71,8 @@ fn main() {
     .collect();
 
     let space = design_space();
-    let affordable: Vec<&MachineConfig> =
-        space.iter().filter(|c| ipu_cost(c).0 <= budget).collect();
+    let affordable: Vec<MachineConfig> =
+        space.iter().filter(|c| ipu_cost(c).0 <= budget).cloned().collect();
     println!(
         "design space: {} points, {} within the {budget}-RBE budget; \
          evaluating on {} kernels at scale {scale}...",
@@ -93,25 +81,17 @@ fn main() {
         suite.len()
     );
 
-    // Parallel evaluation across configurations.
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let results: Vec<(String, u64, f64)> = std::thread::scope(|scope| {
-        let chunks: Vec<&[&MachineConfig]> =
-            affordable.chunks(affordable.len().div_ceil(threads)).collect();
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let suite = &suite;
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|cfg| (cfg.name.clone(), ipu_cost(cfg).0, avg_cpi(cfg, suite)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
-    });
+    // One capture per kernel, then the whole affordable-configs × suite
+    // grid replays in parallel through the matrix runner.
+    let grid = run_matrix(&affordable, &suite);
+    let results: Vec<(String, u64, f64)> = affordable
+        .iter()
+        .zip(&grid)
+        .map(|(cfg, row)| {
+            let avg = row.iter().map(aurora_core::SimStats::cpi).sum::<f64>() / row.len() as f64;
+            (cfg.name.clone(), ipu_cost(cfg).0, avg)
+        })
+        .collect();
 
     // Best absolute performers.
     let mut by_cpi = results.clone();

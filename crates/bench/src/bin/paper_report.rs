@@ -9,7 +9,9 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use aurora_bench::harness::{cpi_range, fp_suite, integer_suite, run, run_suite, scale_from_args};
+use aurora_bench::harness::{
+    cpi_range, fp_suite, integer_suite, run_cached, run_matrix, run_suite, scale_from_args,
+};
 use aurora_core::{FpIssuePolicy, IssueWidth, MachineConfig, MachineModel, StallKind};
 use aurora_cost::ipu_cost;
 use aurora_mem::LatencyModel;
@@ -278,7 +280,7 @@ fn fig8(md: &mut String, scale: Scale) {
     let _ = writeln!(md, "## Figure 8 — espresso full cost/performance scatter (L17)\n");
     let espresso = IntBenchmark::Espresso.workload(scale);
     let point = |name: &str, cfg: &MachineConfig| -> (String, u64, f64) {
-        let s = run(cfg, &espresso);
+        let s = run_cached(cfg, &espresso);
         (name.to_owned(), ipu_cost(cfg).0, s.cpi())
     };
     let mut rows = Vec::new();
@@ -333,22 +335,26 @@ fn tab6(md: &mut String, suite: &[Workload]) {
         md,
         "| benchmark | in-order (paper) | single (paper) | dual (paper) |\n|---|---|---|---|"
     );
+    let configs: Vec<MachineConfig> = [
+        FpIssuePolicy::InOrderComplete,
+        FpIssuePolicy::OutOfOrderSingle,
+        FpIssuePolicy::OutOfOrderDual,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        cfg.fpu.issue_policy = policy;
+        cfg
+    })
+    .collect();
+    let grid = run_matrix(&configs, suite);
     let mut sums = [0.0f64; 3];
-    for w in suite {
+    for (wi, w) in suite.iter().enumerate() {
         let mut vals = Vec::new();
-        for (i, policy) in [
-            FpIssuePolicy::InOrderComplete,
-            FpIssuePolicy::OutOfOrderSingle,
-            FpIssuePolicy::OutOfOrderDual,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
-            cfg.fpu.issue_policy = policy;
-            let s = run(&cfg, w);
-            sums[i] += s.cpi();
-            vals.push(s.cpi());
+        for (i, policy_row) in grid.iter().enumerate() {
+            let c = policy_row[wi].cpi();
+            sums[i] += c;
+            vals.push(c);
         }
         let p = paper.iter().find(|(n, ..)| *n == w.name());
         let fmt = |i: usize, pv: fn(&(&str, f64, f64, f64)) -> f64| -> String {
@@ -391,7 +397,8 @@ fn fig9(md: &mut String, suite: &[Workload]) {
         cfg
     };
     let avg = |cfg: &MachineConfig| -> f64 {
-        suite.iter().map(|w| run(cfg, w).cpi()).sum::<f64>() / suite.len() as f64
+        let row = &run_matrix(std::slice::from_ref(cfg), suite)[0];
+        row.iter().map(aurora_core::SimStats::cpi).sum::<f64>() / row.len() as f64
     };
     let mut sweep = |label: &str, values: &[u32], paper: &str, apply: &dyn Fn(&mut MachineConfig, u32)| {
         let cells: Vec<String> = values
@@ -450,8 +457,8 @@ fn extension_doubleword(md: &mut String, scale: Scale) {
     let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
     let mut total_gain = 0.0;
     for b in FpBenchmark::ALL {
-        let sw = run(&cfg, &b.workload(scale));
-        let dw = run(&cfg, &b.workload_doubleword(scale));
+        let sw = run_cached(&cfg, &b.workload(scale));
+        let dw = run_cached(&cfg, &b.workload_doubleword(scale));
         // Compare cycles for the same work, not CPI (instruction counts differ).
         let gain = (sw.cycles as f64 - dw.cycles as f64) / sw.cycles as f64;
         total_gain += gain;

@@ -1,0 +1,117 @@
+//! Performance baseline for the capture-once / replay-many engine.
+//!
+//! Times the same (configurations × workloads) sweep two ways:
+//!
+//! 1. **streamed** — the pre-trace-engine path: every cell re-runs the
+//!    functional emulator and streams ops straight into the simulator,
+//! 2. **replay** — [`run_matrix`]: one packed capture per workload via
+//!    the process-wide [`TraceStore`], then parallel borrowed replays.
+//!
+//! Asserts that the store performed exactly one capture per workload and
+//! writes the measurements as hand-rolled JSON (no serde dependency) to
+//! `BENCH_replay.json` (override with `--out PATH`).
+//!
+//! ```text
+//! cargo run --release -p aurora-bench --bin perf_baseline -- [--scale test] [--out FILE]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use aurora_bench::harness::{fp_suite, integer_suite, run, run_matrix, scale_from_args};
+use aurora_core::{IssueWidth, MachineConfig, MachineModel};
+use aurora_mem::LatencyModel;
+use aurora_workloads::{TraceStore, Workload};
+
+/// A small but heterogeneous config sweep: every machine model at both
+/// issue widths, as in the Figure 4 grid.
+fn sweep_configs() -> Vec<MachineConfig> {
+    let mut out = Vec::new();
+    for issue in [IssueWidth::Single, IssueWidth::Dual] {
+        for model in MachineModel::ALL {
+            out.push(model.config(issue, LatencyModel::Fixed(17)));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2)
+            .find(|p| p[0] == "--out")
+            .map_or_else(|| "BENCH_replay.json".to_string(), |p| p[1].clone())
+    };
+
+    let mut suite: Vec<Workload> = integer_suite(scale);
+    suite.extend(fp_suite(scale));
+    let configs = sweep_configs();
+    let cells = configs.len() * suite.len();
+    println!(
+        "perf_baseline: {} configs x {} workloads = {cells} cells at scale {scale}",
+        configs.len(),
+        suite.len()
+    );
+
+    // Streamed path: re-emulate the kernel for every cell.
+    let t0 = Instant::now();
+    let mut streamed_instructions: u64 = 0;
+    for cfg in &configs {
+        for w in &suite {
+            streamed_instructions += run(cfg, w).instructions;
+        }
+    }
+    let stream_s = t0.elapsed().as_secs_f64();
+
+    // Replay path: capture once per workload, replay the grid in parallel.
+    let t1 = Instant::now();
+    let grid = run_matrix(&configs, &suite);
+    let replay_s = t1.elapsed().as_secs_f64();
+
+    let store = TraceStore::global();
+    let materialised = store.captures() + store.disk_hits();
+    assert_eq!(
+        materialised,
+        suite.len() as u64,
+        "expected exactly one capture (or disk hit) per workload, got {} for {}",
+        materialised,
+        suite.len()
+    );
+
+    let replayed_instructions: u64 =
+        grid.iter().flatten().map(|s| s.instructions).sum();
+    assert_eq!(replayed_instructions, streamed_instructions, "paths must simulate the same work");
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let speedup = stream_s / replay_s;
+    let stream_ips = streamed_instructions as f64 / stream_s;
+    let replay_ips = replayed_instructions as f64 / replay_s;
+    println!("streamed: {stream_s:.3} s  ({stream_ips:.0} instr/s)");
+    println!("replay:   {replay_s:.3} s  ({replay_ips:.0} instr/s)");
+    println!("speedup:  {speedup:.2}x on {threads} core(s)  (captures: {}, disk hits: {})", store.captures(), store.disk_hits());
+    if threads == 1 {
+        // Streamed cost per cell is emulate+simulate; replay drops the
+        // emulate term but the pool cannot overlap cells, so the
+        // single-core ceiling is (emulate+simulate)/simulate.
+        println!("note: single core — replay's thread pool cannot parallelise the grid");
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"configs\": {},", configs.len());
+    let _ = writeln!(json, "  \"workloads\": {},", suite.len());
+    let _ = writeln!(json, "  \"cells\": {cells},");
+    let _ = writeln!(json, "  \"streamed_seconds\": {stream_s:.6},");
+    let _ = writeln!(json, "  \"replay_seconds\": {replay_s:.6},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"parallelism\": {threads},");
+    let _ = writeln!(json, "  \"captures\": {},", store.captures());
+    let _ = writeln!(json, "  \"disk_hits\": {},", store.disk_hits());
+    let _ = writeln!(json, "  \"instructions_per_path\": {streamed_instructions},");
+    let _ = writeln!(json, "  \"streamed_instr_per_sec\": {stream_ips:.0},");
+    let _ = writeln!(json, "  \"replay_instr_per_sec\": {replay_ips:.0}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -2,8 +2,8 @@
 //! in-order completion, out-of-order completion with single issue, and
 //! out-of-order completion with dual issue) across the FP suite.
 
-use aurora_bench::harness::{cpi, fp_suite, run, scale_from_args, TextTable};
-use aurora_core::{FpIssuePolicy, IssueWidth, MachineModel};
+use aurora_bench::harness::{cpi, fp_suite, run_matrix, scale_from_args, TextTable};
+use aurora_core::{FpIssuePolicy, IssueWidth, MachineConfig, MachineModel};
 use aurora_mem::LatencyModel;
 
 fn main() {
@@ -14,17 +14,25 @@ fn main() {
         FpIssuePolicy::OutOfOrderSingle,
         FpIssuePolicy::OutOfOrderDual,
     ];
+    let configs: Vec<MachineConfig> = policies
+        .iter()
+        .map(|&policy| {
+            let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+            cfg.fpu.issue_policy = policy;
+            cfg
+        })
+        .collect();
 
+    // One row per policy; each FP trace is captured once and shared.
+    let grid = run_matrix(&configs, &suite);
     let mut t = TextTable::new(["benchmark", "in-order", "single issue", "dual issue"]);
     let mut sums = [0.0f64; 3];
-    for w in &suite {
+    for (wi, w) in suite.iter().enumerate() {
         let mut row = vec![w.name().to_string()];
-        for (i, policy) in policies.iter().enumerate() {
-            let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
-            cfg.fpu.issue_policy = *policy;
-            let stats = run(&cfg, w);
-            sums[i] += stats.cpi();
-            row.push(cpi(stats.cpi()));
+        for (i, policy_row) in grid.iter().enumerate() {
+            let c = policy_row[wi].cpi();
+            sums[i] += c;
+            row.push(cpi(c));
         }
         t.row(row);
     }

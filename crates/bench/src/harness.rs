@@ -1,8 +1,22 @@
-//! Shared experiment-harness utilities: streaming simulation runners and
-//! plain-text table/series formatting used by every `src/bin/` experiment.
+//! Shared experiment-harness utilities: capture-once / replay-many sweep
+//! runners and plain-text table/series formatting used by every
+//! `src/bin/` experiment.
+//!
+//! The heart of the module is [`run_matrix`]: every experiment binary is
+//! ultimately a (configurations × workloads) sweep, and the trace of a
+//! (workload, scale) pair is configuration-independent. The matrix runner
+//! therefore captures each workload's packed trace once — through the
+//! process-wide [`TraceStore`] — and replays the shared, borrowed traces
+//! across a work-stealing thread pool, one cell at a time. Compared with
+//! re-emulating the kernel per cell, replay skips the functional emulator
+//! entirely, which is where most of a sweep's time used to go.
 
-use aurora_core::{MachineConfig, SimStats, Simulator};
-use aurora_workloads::{Scale, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use aurora_core::{replay, MachineConfig, SimStats, Simulator};
+use aurora_isa::PackedTrace;
+use aurora_workloads::{Scale, TraceStore, Workload};
 
 /// Runs `workload` through a simulator for `cfg`, streaming the trace
 /// (no trace materialisation, so `Scale::Full` runs fit in memory).
@@ -19,20 +33,90 @@ pub fn run(cfg: &MachineConfig, workload: &Workload) -> SimStats {
     sim.finish()
 }
 
-/// Runs a benchmark list against one config, one thread per workload
-/// (each simulation is independent and deterministic), returning
+/// Captures `workload`'s trace through the process-wide [`TraceStore`]
+/// (at most once per (name, scale), across all threads) and replays it
+/// against `cfg`. Statistics are bit-identical to [`run`].
+///
+/// # Panics
+///
+/// Panics if the kernel fails to run — kernels are compiled-in and a
+/// failure is a bug, not an operational error.
+pub fn run_cached(cfg: &MachineConfig, workload: &Workload) -> SimStats {
+    replay(cfg, &capture(workload))
+}
+
+fn capture(workload: &Workload) -> Arc<PackedTrace> {
+    TraceStore::global()
+        .get(workload)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()))
+}
+
+/// Replays every workload against every configuration: the universal
+/// sweep shape behind the paper's figures and tables.
+///
+/// Traces are captured once per workload (in parallel, memoised in the
+/// process-wide [`TraceStore`]), then the `configs.len() × workloads.len()`
+/// grid of independent replays drains through a work-stealing pool sized
+/// to the machine. Returns one row per configuration, one column per
+/// workload: `result[c][w]` is `configs[c]` × `workloads[w]`.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to run — kernels are compiled-in and a
+/// failure is a bug, not an operational error.
+pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<SimStats>> {
+    if configs.is_empty() || workloads.is_empty() {
+        return configs.iter().map(|_| Vec::new()).collect();
+    }
+    // Phase 1: capture each workload's trace, one thread per workload.
+    let traces: Vec<Arc<PackedTrace>> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            workloads.iter().map(|w| scope.spawn(move || capture(w))).collect();
+        handles.into_iter().map(|h| h.join().expect("capture thread")).collect()
+    });
+    // Phase 2: drain the replay grid with work stealing — replay times
+    // vary wildly across (config, workload) cells, so static chunking
+    // would leave threads idle.
+    let cells = configs.len() * workloads.len();
+    let results: Vec<OnceLock<SimStats>> = (0..cells).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(cells);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let cell = next.fetch_add(1, Ordering::Relaxed);
+                if cell >= cells {
+                    return;
+                }
+                let (ci, wi) = (cell / workloads.len(), cell % workloads.len());
+                let stats = replay(&configs[ci], &traces[wi]);
+                results[cell].set(stats).expect("cell simulated twice");
+            });
+        }
+    });
+    let mut rows: Vec<Vec<SimStats>> = Vec::with_capacity(configs.len());
+    let mut cells = results.into_iter();
+    for _ in configs {
+        rows.push(
+            cells
+                .by_ref()
+                .take(workloads.len())
+                .map(|c| c.into_inner().expect("cell not simulated"))
+                .collect(),
+        );
+    }
+    rows
+}
+
+/// Runs a benchmark list against one config via [`run_matrix`] (captured
+/// traces are shared with any other sweep in the process), returning
 /// `(name, stats)` in workload order.
 pub fn run_suite<'w>(
     cfg: &MachineConfig,
     workloads: &'w [Workload],
 ) -> Vec<(&'w str, SimStats)> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| scope.spawn(move || (w.name(), run(cfg, w))))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread")).collect()
-    })
+    let row = run_matrix(std::slice::from_ref(cfg), workloads).pop().expect("one row");
+    workloads.iter().map(Workload::name).zip(row).collect()
 }
 
 /// Builds the full integer suite at `scale`.
@@ -156,6 +240,54 @@ mod tests {
         let stats = run(&cfg, &w);
         assert!(stats.instructions > 10_000);
         assert!(stats.cpi() > 0.5);
+    }
+
+    #[test]
+    fn cached_replay_matches_streamed_run() {
+        let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let w = IntBenchmark::Compress.workload(Scale::Test);
+        assert_eq!(run_cached(&cfg, &w), run(&cfg, &w));
+    }
+
+    #[test]
+    fn matrix_matches_individual_runs() {
+        let configs = [
+            MachineModel::Small.config(IssueWidth::Single, LatencyModel::Fixed(17)),
+            MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17)),
+            MachineModel::Large.config(IssueWidth::Dual, LatencyModel::Fixed(17)),
+        ];
+        let workloads = [
+            IntBenchmark::Espresso.workload(Scale::Test),
+            IntBenchmark::Li.workload(Scale::Test),
+        ];
+        let grid = run_matrix(&configs, &workloads);
+        assert_eq!(grid.len(), configs.len());
+        for (cfg, row) in configs.iter().zip(&grid) {
+            assert_eq!(row.len(), workloads.len());
+            for (w, stats) in workloads.iter().zip(row) {
+                assert_eq!(*stats, run(cfg, w), "{} mismatch", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_shapes() {
+        let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        assert!(run_matrix(&[], &integer_suite(Scale::Test)).is_empty());
+        let rows = run_matrix(std::slice::from_ref(&cfg), &[]);
+        assert_eq!(rows, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn suite_results_keep_workload_order() {
+        let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let suite = [
+            IntBenchmark::Sc.workload(Scale::Test),
+            IntBenchmark::Compress.workload(Scale::Test),
+        ];
+        let results = run_suite(&cfg, &suite);
+        assert_eq!(results[0].0, "sc");
+        assert_eq!(results[1].0, "compress");
     }
 
     #[test]

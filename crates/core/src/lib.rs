@@ -52,5 +52,5 @@ mod stats;
 
 pub use config::{FpIssuePolicy, FpuConfig, IssueWidth, MachineConfig, MachineModel};
 pub use rob::ReorderBuffer;
-pub use sim::{simulate, simulate_program, IssueRecord, Simulator};
+pub use sim::{replay, simulate, simulate_program, IssueRecord, Simulator};
 pub use stats::{SimStats, StallBreakdown, StallKind};

@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 
-use aurora_isa::{ArchReg, EmuError, Emulator, OpKind, Program, TraceOp};
+use aurora_isa::{ArchReg, EmuError, Emulator, OpKind, PackedTrace, Program, TraceOp};
 use aurora_mem::{
     Biu, DecodedICache, DirectMappedCache, Geometry, LineAddr, MshrFile, PairInfo, StreamBuffers,
     StreamProbe, StreamStats, TransferKind, WriteCache,
@@ -218,6 +218,18 @@ impl Simulator {
         self.pending.push_back(op);
         while self.pending.len() >= 2 {
             self.issue_group();
+        }
+    }
+
+    /// Feeds a whole captured trace, decoding packed records on the fly.
+    ///
+    /// This is the replay half of the capture-once / replay-many workflow
+    /// (§4.1): the trace is borrowed, so one capture can drive any number
+    /// of simulators — concurrently, behind an `Arc` — without
+    /// re-emulating the workload or cloning the op buffer.
+    pub fn feed_packed(&mut self, trace: &PackedTrace) {
+        for op in trace.iter() {
+            self.feed(op);
         }
     }
 
@@ -687,6 +699,15 @@ where
     for op in trace {
         sim.feed(op);
     }
+    sim.finish()
+}
+
+/// Replays a captured [`PackedTrace`] against `cfg` and returns the run's
+/// statistics. Produces bit-identical [`SimStats`] to feeding the same
+/// ops through [`simulate`], without re-emulating the workload.
+pub fn replay(cfg: &MachineConfig, trace: &PackedTrace) -> SimStats {
+    let mut sim = Simulator::new(cfg);
+    sim.feed_packed(trace);
     sim.finish()
 }
 

@@ -103,7 +103,10 @@ impl IndexMut<StallKind> for StallBreakdown {
 }
 
 /// Everything a simulation run produces.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is field-exact, which is what replay-equivalence tests want:
+/// a packed-trace replay must reproduce a streamed run bit for bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total simulated cycles (including pipeline drain at the end).
     pub cycles: u64,

@@ -15,7 +15,10 @@
 //! * [`Emulator`] — a functional emulator with MIPS branch-delay-slot
 //!   semantics that executes a [`Program`] and emits [`TraceOp`] records,
 //! * [`TraceOp`] / [`OpKind`] — the dynamic trace format consumed by the
-//!   `aurora-core` cycle simulator.
+//!   `aurora-core` cycle simulator,
+//! * [`PackedTrace`] — a compact fixed-width trace for capture-once /
+//!   replay-many configuration sweeps, byte-compatible with the binary
+//!   [`write_trace`] / [`read_trace`] on-disk format.
 //!
 //! # Example
 //!
@@ -46,9 +49,11 @@
 
 mod asm;
 mod builder;
+mod codec;
 mod emu;
 mod instr;
 mod opcode;
+mod packed;
 mod program;
 mod reg;
 mod trace;
@@ -56,9 +61,11 @@ mod trace_io;
 
 pub use asm::{AsmError, Assembler};
 pub use builder::ProgramBuilder;
+pub use codec::TRACE_FORMAT_VERSION;
 pub use emu::{EmuError, Emulator, RunOutcome};
 pub use instr::{DecodeError, Instruction};
 pub use opcode::{Opcode, OpcodeClass};
+pub use packed::{PackedOp, PackedTrace};
 pub use program::{DelaySlotError, Program, Segment};
 pub use reg::{FReg, Reg};
 pub use trace::{ArchReg, MemWidth, OpKind, TraceOp, TraceStats};

@@ -1,0 +1,306 @@
+//! Compact in-memory traces for capture-once / replay-many simulation.
+//!
+//! The trace-driven methodology of §4.1 separates *trace collection* from
+//! *simulation*. A configuration sweep replays the same workload against
+//! dozens of machine configurations, so re-emulating the kernel for every
+//! cell of the sweep wastes almost all of its time producing bytes that
+//! never change. [`PackedTrace`] stores each retired instruction as a
+//! fixed 16-byte record (less than half the in-memory footprint of a
+//! `Vec<TraceOp>`, which is 28 bytes plus padding per op) and decodes on
+//! the fly during replay, so one captured trace can be shared — typically
+//! behind an `Arc` — by every simulator thread in a sweep.
+//!
+//! The field encoding is the shared [`codec`](crate::codec), identical to
+//! the on-disk format in [`trace_io`](crate::trace_io); [`PackedTrace::write_to`]
+//! and [`PackedTrace::read_from`] therefore interoperate byte-for-byte
+//! with [`write_trace`](crate::write_trace) / [`read_trace`](crate::read_trace).
+//!
+//! ```
+//! use aurora_isa::{OpKind, PackedTrace, TraceOp};
+//!
+//! let trace: PackedTrace = [
+//!     TraceOp::bare(0x400000, OpKind::IntAlu),
+//!     TraceOp::bare(0x400004, OpKind::Branch { taken: true, target: 0x400000 }),
+//! ]
+//! .into_iter()
+//! .collect();
+//! assert_eq!(trace.len(), 2);
+//! let back: Vec<TraceOp> = trace.iter().collect();
+//! assert_eq!(back[1].pc, 0x400004);
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::codec;
+use crate::trace::{TraceOp, TraceStats};
+use crate::trace_io::{TraceReader, TraceWriter};
+
+/// One trace record packed into 16 bytes.
+///
+/// Only ever constructed from a valid [`TraceOp`] (or from validated
+/// deserialisation), so unpacking is infallible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct PackedOp {
+    pc: u32,
+    payload: u32,
+    kind: u8,
+    aux: u8,
+    dst: u8,
+    src1: u8,
+    src2: u8,
+    _pad: [u8; 3],
+}
+
+impl PackedOp {
+    /// Packs a trace op into its fixed-width form.
+    pub fn pack(op: &TraceOp) -> PackedOp {
+        let (kind, aux, payload) = codec::pack_kind(op.kind);
+        PackedOp {
+            pc: op.pc,
+            payload,
+            kind,
+            aux,
+            dst: codec::encode_reg(op.dst),
+            src1: codec::encode_reg(op.src1),
+            src2: codec::encode_reg(op.src2),
+            _pad: [0; 3],
+        }
+    }
+
+    /// Expands back into the simulator's working representation.
+    pub fn unpack(&self) -> TraceOp {
+        // Fields only enter a PackedOp through `pack` or validated I/O,
+        // so decoding cannot fail.
+        TraceOp {
+            pc: self.pc,
+            kind: codec::unpack_kind(self.kind, self.aux, self.payload)
+                .expect("PackedOp holds a validated kind"),
+            dst: codec::decode_reg(self.dst).expect("PackedOp holds a validated dst"),
+            src1: codec::decode_reg(self.src1).expect("PackedOp holds a validated src1"),
+            src2: codec::decode_reg(self.src2).expect("PackedOp holds a validated src2"),
+        }
+    }
+
+    pub(crate) fn fields(&self) -> (u32, u8, u8, u32, u8, u8, u8) {
+        (self.pc, self.kind, self.aux, self.payload, self.dst, self.src1, self.src2)
+    }
+}
+
+/// A whole dynamic trace in packed form.
+///
+/// Built once per (workload, scale) — see `aurora-workloads`' trace store
+/// — and replayed read-only by any number of simulator threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedTrace {
+    ops: Vec<PackedOp>,
+    stats: TraceStats,
+}
+
+impl PackedTrace {
+    /// An empty trace.
+    pub fn new() -> PackedTrace {
+        PackedTrace::default()
+    }
+
+    /// An empty trace with room for `n` records.
+    pub fn with_capacity(n: usize) -> PackedTrace {
+        PackedTrace { ops: Vec::with_capacity(n), stats: TraceStats::default() }
+    }
+
+    /// Packs an already-collected op sequence.
+    pub fn from_ops(ops: impl IntoIterator<Item = TraceOp>) -> PackedTrace {
+        ops.into_iter().collect()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, op: TraceOp) {
+        self.stats.record(&op);
+        self.ops.push(PackedOp::pack(&op));
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The record at `index`, decoded.
+    pub fn get(&self, index: usize) -> Option<TraceOp> {
+        self.ops.get(index).map(PackedOp::unpack)
+    }
+
+    /// Summary statistics, accumulated at build time (free to read).
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Heap bytes held by the packed records.
+    pub fn mem_bytes(&self) -> usize {
+        self.ops.capacity() * std::mem::size_of::<PackedOp>()
+    }
+
+    /// Iterates the trace, decoding records on the fly.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = TraceOp> + '_ {
+        self.ops.iter().map(PackedOp::unpack)
+    }
+
+    /// Serialises in the [`trace_io`](crate::trace_io) binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_to<W: Write>(&self, sink: W) -> io::Result<()> {
+        let mut w = TraceWriter::new(sink)?;
+        for op in &self.ops {
+            w.write_packed(op)?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Reads a trace written by [`PackedTrace::write_to`] (or
+    /// [`write_trace`](crate::write_trace)), validating every record.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a malformed header or record, and
+    /// propagates I/O errors.
+    pub fn read_from<R: Read>(source: R) -> io::Result<PackedTrace> {
+        let reader = TraceReader::new(source)?;
+        let mut trace = match reader.len_hint() {
+            Some(n) => PackedTrace::with_capacity(n as usize),
+            None => PackedTrace::new(),
+        };
+        for op in reader {
+            trace.push(op?);
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<TraceOp> for PackedTrace {
+    fn from_iter<I: IntoIterator<Item = TraceOp>>(iter: I) -> PackedTrace {
+        let iter = iter.into_iter();
+        let mut trace = PackedTrace::with_capacity(iter.size_hint().0);
+        trace.extend(iter);
+        trace
+    }
+}
+
+impl Extend<TraceOp> for PackedTrace {
+    fn extend<I: IntoIterator<Item = TraceOp>>(&mut self, iter: I) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedTrace {
+    type Item = TraceOp;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, PackedOp>, fn(&PackedOp) -> TraceOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter().map(PackedOp::unpack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ArchReg, MemWidth, OpKind};
+    use crate::trace_io::{read_trace, write_trace};
+
+    fn sample_ops() -> Vec<TraceOp> {
+        vec![
+            TraceOp {
+                pc: 0x0040_0000,
+                kind: OpKind::Load { ea: 0x1001_0040, width: MemWidth::Word },
+                dst: Some(ArchReg::Int(8)),
+                src1: Some(ArchReg::Int(29)),
+                src2: None,
+            },
+            TraceOp::bare(0x0040_0004, OpKind::FpDiv),
+            TraceOp {
+                pc: 0x0040_0008,
+                kind: OpKind::Branch { taken: true, target: 0x0040_0000 },
+                dst: None,
+                src1: Some(ArchReg::FpCond),
+                src2: Some(ArchReg::HiLo),
+            },
+            TraceOp::bare(0x0040_0010, OpKind::Jump { target: 0x0040_0100, register: true }),
+            TraceOp::bare(0x0040_0014, OpKind::Nop),
+        ]
+    }
+
+    #[test]
+    fn packed_op_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<PackedOp>(), 16);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for op in sample_ops() {
+            assert_eq!(PackedOp::pack(&op).unpack(), op);
+        }
+    }
+
+    #[test]
+    fn collect_and_iter_round_trip() {
+        let ops = sample_ops();
+        let trace: PackedTrace = ops.iter().copied().collect();
+        assert_eq!(trace.len(), ops.len());
+        assert!(!trace.is_empty());
+        assert_eq!(trace.iter().collect::<Vec<_>>(), ops);
+        assert_eq!((&trace).into_iter().collect::<Vec<_>>(), ops);
+        assert_eq!(trace.get(1), Some(ops[1]));
+        assert_eq!(trace.get(99), None);
+    }
+
+    #[test]
+    fn stats_match_streamed_accumulation() {
+        let ops = sample_ops();
+        let mut want = TraceStats::default();
+        for op in &ops {
+            want.record(op);
+        }
+        let trace = PackedTrace::from_ops(ops);
+        assert_eq!(*trace.stats(), want);
+    }
+
+    #[test]
+    fn disk_format_interoperates_with_trace_io() {
+        let ops = sample_ops();
+        // packed writer -> streaming reader
+        let trace = PackedTrace::from_ops(ops.clone());
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back: Vec<TraceOp> =
+            read_trace(&buf[..]).unwrap().collect::<io::Result<_>>().unwrap();
+        assert_eq!(back, ops);
+        // streaming writer -> packed reader
+        let mut buf2 = Vec::new();
+        write_trace(&mut buf2, ops.iter().copied()).unwrap();
+        let trace2 = PackedTrace::read_from(&buf2[..]).unwrap();
+        assert_eq!(trace2, trace);
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected() {
+        let mut buf = Vec::new();
+        PackedTrace::from_ops(sample_ops()).write_to(&mut buf).unwrap();
+        buf[16 + 4] = 200; // invalid kind tag in the first record
+        assert!(PackedTrace::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn packed_is_smaller_than_trace_op() {
+        assert!(std::mem::size_of::<PackedOp>() < std::mem::size_of::<TraceOp>());
+        let trace = PackedTrace::from_ops(sample_ops());
+        assert!(trace.mem_bytes() >= trace.len() * 16);
+    }
+}

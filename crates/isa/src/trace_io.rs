@@ -28,146 +28,44 @@
 
 use std::io::{self, Read, Write};
 
-use crate::trace::{ArchReg, MemWidth, OpKind, TraceOp};
+use crate::codec;
+use crate::packed::PackedOp;
+use crate::trace::TraceOp;
 
 const MAGIC: &[u8; 8] = b"AUR3TRC\0";
-const VERSION: u32 = 1;
+const VERSION: u32 = codec::TRACE_FORMAT_VERSION;
 const RECORD_BYTES: usize = 20;
-
-// Kind tags.
-const K_INT_ALU: u8 = 0;
-const K_INT_MUL: u8 = 1;
-const K_INT_DIV: u8 = 2;
-const K_LOAD: u8 = 3;
-const K_STORE: u8 = 4;
-const K_FP_LOAD: u8 = 5;
-const K_FP_STORE: u8 = 6;
-const K_BRANCH: u8 = 7;
-const K_BRANCH_TAKEN: u8 = 8;
-const K_JUMP: u8 = 9;
-const K_JUMP_REG: u8 = 10;
-const K_FP_ADD: u8 = 11;
-const K_FP_MUL: u8 = 12;
-const K_FP_DIV: u8 = 13;
-const K_FP_SQRT: u8 = 14;
-const K_FP_CVT: u8 = 15;
-const K_FP_MOVE: u8 = 16;
-const K_FP_CMP: u8 = 17;
-const K_NOP: u8 = 18;
-
-// Register encoding: 0 = none; 1..=32 int r0..r31; 33..=64 fp; 65 hilo; 66 fcc.
-fn encode_reg(r: Option<ArchReg>) -> u8 {
-    match r {
-        None => 0,
-        Some(ArchReg::Int(n)) => 1 + n,
-        Some(ArchReg::Fp(n)) => 33 + n,
-        Some(ArchReg::HiLo) => 65,
-        Some(ArchReg::FpCond) => 66,
-    }
-}
-
-fn decode_reg(b: u8) -> Result<Option<ArchReg>, io::Error> {
-    Ok(match b {
-        0 => None,
-        1..=32 => Some(ArchReg::Int(b - 1)),
-        33..=64 => Some(ArchReg::Fp(b - 33)),
-        65 => Some(ArchReg::HiLo),
-        66 => Some(ArchReg::FpCond),
-        other => return Err(bad(format!("register code {other}"))),
-    })
-}
-
-fn encode_width(w: MemWidth) -> u8 {
-    match w {
-        MemWidth::Byte => 1,
-        MemWidth::Half => 2,
-        MemWidth::Word => 4,
-        MemWidth::Double => 8,
-    }
-}
-
-fn decode_width(b: u8) -> Result<MemWidth, io::Error> {
-    Ok(match b {
-        1 => MemWidth::Byte,
-        2 => MemWidth::Half,
-        4 => MemWidth::Word,
-        8 => MemWidth::Double,
-        other => return Err(bad(format!("width code {other}"))),
-    })
-}
 
 fn bad(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("trace file: {msg}"))
 }
 
-fn encode_record(op: &TraceOp) -> [u8; RECORD_BYTES] {
+// A disk record is the packed field tuple (see `codec`) plus reserved
+// padding: pc[0..4], kind[4], aux[5], payload[6..10], dst/src1/src2
+// [10..13], reserved-zero [13..20].
+fn packed_to_record(op: &PackedOp) -> [u8; RECORD_BYTES] {
+    let (pc, kind, aux, payload, dst, src1, src2) = op.fields();
     let mut rec = [0u8; RECORD_BYTES];
-    rec[0..4].copy_from_slice(&op.pc.to_le_bytes());
-    let (kind, aux, payload): (u8, u8, u32) = match op.kind {
-        OpKind::IntAlu => (K_INT_ALU, 0, 0),
-        OpKind::IntMul => (K_INT_MUL, 0, 0),
-        OpKind::IntDiv => (K_INT_DIV, 0, 0),
-        OpKind::Load { ea, width } => (K_LOAD, encode_width(width), ea),
-        OpKind::Store { ea, width } => (K_STORE, encode_width(width), ea),
-        OpKind::FpLoad { ea, width } => (K_FP_LOAD, encode_width(width), ea),
-        OpKind::FpStore { ea, width } => (K_FP_STORE, encode_width(width), ea),
-        OpKind::Branch { taken, target } => {
-            (if taken { K_BRANCH_TAKEN } else { K_BRANCH }, 0, target)
-        }
-        OpKind::Jump { target, register } => {
-            (if register { K_JUMP_REG } else { K_JUMP }, 0, target)
-        }
-        OpKind::FpAdd => (K_FP_ADD, 0, 0),
-        OpKind::FpMul => (K_FP_MUL, 0, 0),
-        OpKind::FpDiv => (K_FP_DIV, 0, 0),
-        OpKind::FpSqrt => (K_FP_SQRT, 0, 0),
-        OpKind::FpCvt => (K_FP_CVT, 0, 0),
-        OpKind::FpMove => (K_FP_MOVE, 0, 0),
-        OpKind::FpCmp => (K_FP_CMP, 0, 0),
-        OpKind::Nop => (K_NOP, 0, 0),
-    };
+    rec[0..4].copy_from_slice(&pc.to_le_bytes());
     rec[4] = kind;
     rec[5] = aux;
     rec[6..10].copy_from_slice(&payload.to_le_bytes());
-    rec[10] = encode_reg(op.dst);
-    rec[11] = encode_reg(op.src1);
-    rec[12] = encode_reg(op.src2);
-    // rec[13..20] reserved (zero) for future fields.
+    rec[10] = dst;
+    rec[11] = src1;
+    rec[12] = src2;
     rec
 }
 
 fn decode_record(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceOp> {
     let pc = u32::from_le_bytes(rec[0..4].try_into().unwrap());
     let payload = u32::from_le_bytes(rec[6..10].try_into().unwrap());
-    let aux = rec[5];
-    let kind = match rec[4] {
-        K_INT_ALU => OpKind::IntAlu,
-        K_INT_MUL => OpKind::IntMul,
-        K_INT_DIV => OpKind::IntDiv,
-        K_LOAD => OpKind::Load { ea: payload, width: decode_width(aux)? },
-        K_STORE => OpKind::Store { ea: payload, width: decode_width(aux)? },
-        K_FP_LOAD => OpKind::FpLoad { ea: payload, width: decode_width(aux)? },
-        K_FP_STORE => OpKind::FpStore { ea: payload, width: decode_width(aux)? },
-        K_BRANCH => OpKind::Branch { taken: false, target: payload },
-        K_BRANCH_TAKEN => OpKind::Branch { taken: true, target: payload },
-        K_JUMP => OpKind::Jump { target: payload, register: false },
-        K_JUMP_REG => OpKind::Jump { target: payload, register: true },
-        K_FP_ADD => OpKind::FpAdd,
-        K_FP_MUL => OpKind::FpMul,
-        K_FP_DIV => OpKind::FpDiv,
-        K_FP_SQRT => OpKind::FpSqrt,
-        K_FP_CVT => OpKind::FpCvt,
-        K_FP_MOVE => OpKind::FpMove,
-        K_FP_CMP => OpKind::FpCmp,
-        K_NOP => OpKind::Nop,
-        other => return Err(bad(format!("kind tag {other}"))),
-    };
+    let kind = codec::unpack_kind(rec[4], rec[5], payload).map_err(bad)?;
     Ok(TraceOp {
         pc,
         kind,
-        dst: decode_reg(rec[10])?,
-        src1: decode_reg(rec[11])?,
-        src2: decode_reg(rec[12])?,
+        dst: codec::decode_reg(rec[10]).map_err(bad)?,
+        src1: codec::decode_reg(rec[11]).map_err(bad)?,
+        src2: codec::decode_reg(rec[12]).map_err(bad)?,
     })
 }
 
@@ -199,7 +97,16 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Propagates I/O errors from the sink.
     pub fn write(&mut self, op: &TraceOp) -> io::Result<()> {
-        self.sink.write_all(&encode_record(op))?;
+        self.write_packed(&PackedOp::pack(op))
+    }
+
+    /// Appends one already-packed record without decoding it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_packed(&mut self, op: &PackedOp) -> io::Result<()> {
+        self.sink.write_all(&packed_to_record(op))?;
         self.written += 1;
         Ok(())
     }
@@ -308,6 +215,7 @@ pub fn read_trace<R: Read>(source: R) -> io::Result<TraceReader<R>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::{ArchReg, MemWidth, OpKind};
     use proptest::prelude::*;
 
     fn sample_ops() -> Vec<TraceOp> {
@@ -402,7 +310,7 @@ mod tests {
                 1 => OpKind::Load { ea, width: MemWidth::Word },
                 2 => OpKind::Store { ea, width: MemWidth::Byte },
                 3 => OpKind::FpLoad { ea, width: MemWidth::Double },
-                4 => OpKind::Branch { taken: ea % 2 == 0, target: ea },
+                4 => OpKind::Branch { taken: ea.is_multiple_of(2), target: ea },
                 5 => OpKind::Jump { target: ea, register: ea % 2 == 1 },
                 6 => OpKind::FpMul,
                 7 => OpKind::FpSqrt,

@@ -29,9 +29,11 @@
 
 mod floating;
 mod integer;
+mod store;
 pub mod synthetic;
 mod workload;
 
 pub use floating::{FpBenchmark, FpLoadWidth};
 pub use integer::IntBenchmark;
+pub use store::TraceStore;
 pub use workload::{Scale, Trace, Workload, WorkloadError};

@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use aurora_isa::{Assembler, EmuError, Emulator, Program, RunOutcome, TraceOp, TraceStats};
+use aurora_isa::{
+    Assembler, EmuError, Emulator, PackedTrace, Program, RunOutcome, TraceOp, TraceStats,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -170,6 +172,61 @@ impl Workload {
         let mut ops = Vec::new();
         let stats = self.run_traced(|op| ops.push(op))?;
         Ok(Trace { ops, stats })
+    }
+
+    /// Runs the kernel once and captures the whole trace in packed form,
+    /// ready for replay against any number of machine configurations (see
+    /// [`TraceStore`](crate::TraceStore) for the memoising layer).
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::run_traced`].
+    pub fn capture(&self) -> Result<PackedTrace, WorkloadError> {
+        let mut trace = PackedTrace::new();
+        self.run_traced(|op| trace.push(op))?;
+        Ok(trace)
+    }
+
+    /// A stable FNV-1a hash of the assembled program's content (entry
+    /// point, encoded instructions and initialised data). Used to key
+    /// on-disk trace caches: two builds whose kernels differ in any way
+    /// hash differently, so a stale cached trace can never be replayed.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u32(self.program.entry());
+        h.write_u32(self.program.text_base());
+        for instr in self.program.instructions() {
+            h.write_u32(instr.encode());
+        }
+        let data = self.program.data();
+        h.write_u32(data.base);
+        h.write(&data.bytes);
+        h.finish()
+    }
+}
+
+/// Minimal 64-bit FNV-1a, enough to fingerprint program content without
+/// external dependencies.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

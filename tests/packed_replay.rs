@@ -1,0 +1,151 @@
+//! The packed-trace engine's contract, end to end:
+//!
+//! 1. any `TraceOp` — every kind, register and width — survives the
+//!    16-byte `PackedOp` round trip unchanged (property test), and
+//! 2. replaying a workload's packed capture produces `SimStats`
+//!    bit-identical to streaming the live emulator into the simulator,
+//!    for every kernel in both suites.
+
+use aurora3::core::{replay, IssueWidth, MachineModel, SimStats, Simulator};
+use aurora3::isa::{ArchReg, MemWidth, OpKind, PackedOp, PackedTrace, TraceOp};
+use aurora3::mem::LatencyModel;
+use aurora3::workloads::{FpBenchmark, IntBenchmark, Scale, Workload};
+use proptest::prelude::*;
+
+/// Decodes a generated selector into a register operand; covers `None`
+/// and all four `ArchReg` shapes.
+fn reg_from(sel: u8) -> Option<ArchReg> {
+    match sel % 67 {
+        0 => None,
+        v @ 1..=32 => Some(ArchReg::Int(v - 1)),
+        v @ 33..=64 => Some(ArchReg::Fp(v - 33)),
+        65 => Some(ArchReg::HiLo),
+        _ => Some(ArchReg::FpCond),
+    }
+}
+
+fn width_from(sel: u8) -> MemWidth {
+    match sel % 4 {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Half,
+        2 => MemWidth::Word,
+        _ => MemWidth::Double,
+    }
+}
+
+/// Decodes a generated selector into an `OpKind`; covers all 19 kinds,
+/// including every memory width and both branch/jump flag settings.
+fn kind_from(sel: u8, payload: u32, aux: u8) -> OpKind {
+    let width = width_from(aux);
+    match sel % 19 {
+        0 => OpKind::IntAlu,
+        1 => OpKind::IntMul,
+        2 => OpKind::IntDiv,
+        3 => OpKind::Load { ea: payload, width },
+        4 => OpKind::Store { ea: payload, width },
+        5 => OpKind::FpLoad { ea: payload, width },
+        6 => OpKind::FpStore { ea: payload, width },
+        7 => OpKind::Branch { taken: aux & 1 != 0, target: payload },
+        8 => OpKind::Jump { target: payload, register: aux & 1 != 0 },
+        9 => OpKind::FpAdd,
+        10 => OpKind::FpMul,
+        11 => OpKind::FpDiv,
+        12 => OpKind::FpSqrt,
+        13 => OpKind::FpCvt,
+        14 => OpKind::FpMove,
+        15 => OpKind::FpCmp,
+        _ => OpKind::Nop,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `TraceOp` -> `PackedOp` -> `TraceOp` is the identity for every
+    /// combination of kind, payload, flags and register operands.
+    #[test]
+    fn packed_op_round_trips(
+        pc in any::<u32>(),
+        kind_sel in any::<u8>(),
+        payload in any::<u32>(),
+        aux in any::<u8>(),
+        dst in any::<u8>(),
+        src1 in any::<u8>(),
+        src2 in any::<u8>(),
+    ) {
+        let op = TraceOp {
+            pc,
+            kind: kind_from(kind_sel, payload, aux),
+            dst: reg_from(dst),
+            src1: reg_from(src1),
+            src2: reg_from(src2),
+        };
+        prop_assert_eq!(PackedOp::pack(&op).unpack(), op);
+    }
+
+    /// A whole vector of ops survives `PackedTrace` collection, and the
+    /// running statistics match a recount.
+    #[test]
+    fn packed_trace_round_trips(seeds in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let ops: Vec<TraceOp> = seeds
+            .iter()
+            .map(|&s| TraceOp {
+                pc: (s >> 32) as u32,
+                kind: kind_from((s >> 8) as u8, s as u32, (s >> 16) as u8),
+                dst: reg_from((s >> 24) as u8),
+                src1: reg_from((s >> 40) as u8),
+                src2: reg_from((s >> 48) as u8),
+            })
+            .collect();
+        let packed: PackedTrace = ops.iter().copied().collect();
+        prop_assert_eq!(packed.len(), ops.len());
+        let back: Vec<TraceOp> = packed.iter().collect();
+        prop_assert_eq!(back, ops);
+        prop_assert_eq!(packed.stats().total, ops.len() as u64);
+    }
+}
+
+fn streamed(cfg_model: MachineModel, w: &Workload) -> SimStats {
+    let cfg = cfg_model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    let mut sim = Simulator::new(&cfg);
+    w.run_traced(|op| sim.feed(op)).expect("kernel runs");
+    sim.finish()
+}
+
+fn replayed(cfg_model: MachineModel, w: &Workload) -> SimStats {
+    let cfg = cfg_model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    replay(&cfg, &w.capture().expect("kernel captures"))
+}
+
+/// Every kernel in both suites replays its packed capture to
+/// bit-identical statistics — the engine's core acceptance criterion.
+#[test]
+fn all_kernels_replay_bit_identically() {
+    let mut workloads: Vec<Workload> =
+        IntBenchmark::ALL.into_iter().map(|b| b.workload(Scale::Test)).collect();
+    workloads.extend(FpBenchmark::ALL.into_iter().map(|b| b.workload(Scale::Test)));
+    assert_eq!(workloads.len(), 15);
+    for w in &workloads {
+        assert_eq!(
+            streamed(MachineModel::Baseline, w),
+            replayed(MachineModel::Baseline, w),
+            "{} diverged under replay",
+            w.name()
+        );
+    }
+}
+
+/// The doubleword FP variants (same names, different programs) also
+/// replay identically — they must not alias their single-word captures.
+#[test]
+fn doubleword_variants_replay_bit_identically() {
+    for b in [FpBenchmark::Alvinn, FpBenchmark::Nasa7] {
+        let w = b.workload_doubleword(Scale::Test);
+        assert_eq!(
+            streamed(MachineModel::Large, &w),
+            replayed(MachineModel::Large, &w),
+            "{} (doubleword) diverged under replay",
+            w.name()
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! The build environment for this repository has no network access, so
+//! this vendored stub supplies the API surface the workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! plain wall-clock sampling loop: each sample times a batch of
+//! iterations, and the per-iteration mean and minimum are printed as
+//! text. There are no statistics, plots, or baselines — just honest
+//! numbers, fully offline.
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimiser identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The stub times every routine
+/// invocation individually, so the variants only influence batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Exactly one input per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver: holds global settings and prints results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(&id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (output is already printed; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1, sample_size };
+    // Warm-up & auto-calibration pass.
+    f(&mut bencher);
+    let (mean, min, iters) = bencher.summarise();
+    println!("{label:<40} mean {:>12} min {:>12} ({iters} iters)", fmt_ns(mean), fmt_ns(min),);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the benchmark closure; routes the measured routine through
+/// the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times for stable samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for samples of at least ~1ms or 1 iteration,
+        // whichever is larger.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+        self.iters_per_sample = per_sample;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn summarise(&self) -> (f64, f64, u64) {
+        let n = self.samples.len().max(1) as f64;
+        let iters = self.iters_per_sample.max(1) as f64;
+        let total: f64 = self.samples.iter().map(|d| d.as_nanos() as f64).sum();
+        let min = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64)
+            .fold(f64::INFINITY, f64::min);
+        let min = if min.is_finite() { min } else { 0.0 };
+        (total / n / iters, min / iters, self.iters_per_sample * self.samples.len() as u64)
+    }
+}
+
+/// Declares a benchmark group function, supporting both criterion forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group!(name = n; config = expr; targets = t, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("iter", |b| b.iter(|| black_box(1u64 + 1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(
+        name = named_form;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    );
+    criterion_group!(positional_form, quick);
+
+    #[test]
+    fn groups_run() {
+        named_form();
+        positional_form();
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline drop-in subset of the [proptest](https://docs.rs/proptest) API.
+//!
+//! The build environment for this repository has no network access, so
+//! this vendored stub supplies the slice of proptest the workspace's
+//! tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * strategies: integer/float ranges, [`any`], tuples, [`Just`],
+//!   [`collection::vec`], and [`Strategy::prop_map`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: sampling
+//! is deterministic (seeded from the test's module path and name, so runs
+//! are reproducible without a `proptest-regressions` directory), and
+//! failing cases panic immediately without shrinking.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::Config;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds the deterministic per-test generator used by [`proptest!`].
+/// Seeded by FNV-1a of the fully qualified test name so each property
+/// gets an independent but reproducible stream.
+#[doc(hidden)]
+pub fn rng_for(test_path: &str) -> SmallRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(hash)
+}
+
+/// Runs `cases` sampled executions of a property body. Mirrors real
+/// proptest's `proptest!` block syntax, including an optional leading
+/// `#![proptest_config(...)]` attribute and multiple `fn` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::Config = $config;
+                let mut prop_rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&$strategy, &mut prop_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics immediately; no
+/// shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments and plain attributes both pass through.
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn ranges_are_respected(x in 10u8..20, y in any::<u64>(), f in 0.5f64..1.5) {
+            prop_assert!((10..20).contains(&x));
+            let _ = y;
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((any::<bool>(), 0u64..100), 1..20),
+            mapped in (0u64..1000).prop_map(|a| a & !3),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (_, n) in &v {
+                prop_assert!(*n < 100);
+            }
+            prop_assert_eq!(mapped % 4, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = crate::rng_for("some::test");
+        let mut b = crate::rng_for("some::test");
+        let mut c = crate::rng_for("other::test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

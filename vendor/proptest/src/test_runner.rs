@@ -1,0 +1,23 @@
+//! Test-runner configuration (`ProptestConfig` in the prelude).
+
+/// How many cases [`crate::proptest!`] runs per property. Matches the
+/// field real proptest configs are built with via `with_cases`.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of sampled executions per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // Real proptest's default.
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` executions per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}

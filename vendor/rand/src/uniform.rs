@@ -1,0 +1,211 @@
+//! Uniform range sampling, algorithm-compatible with rand 0.8.5.
+//!
+//! Integers use the widening-multiply rejection method (`wmul` + zone);
+//! floats use the `[1, 2)` mantissa construction. Small integer types
+//! widen to `u32` exactly as rand does, so sampled streams match the
+//! real crate bit for bit.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Samples from the half-open range `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples from the closed range `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range-like arguments accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Widening multiply helpers: `(hi, lo)` halves of the double-width
+/// product, as rand's `WideningMultiply`.
+trait WMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WMul for u32 {
+    #[inline]
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let t = u64::from(self) * u64::from(other);
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WMul for u64 {
+    #[inline]
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let t = u128::from(self) * u128::from(other);
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $large:ty, $next:ident, $use_mod_zone:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let range = high.wrapping_sub(low) as $large;
+                let zone: $large = if $use_mod_zone {
+                    // Small types (widened to u32): exact modulo zone.
+                    let max = <$large>::MAX;
+                    let ints_to_reject = (max - range + 1) % range;
+                    max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = rng.$next() as $large;
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                // The wrap to zero for a whole-domain range must happen at
+                // the native width (rand widens only after the +1).
+                let range = high.wrapping_sub(low).wrapping_add(1) as $large;
+                if range == 0 {
+                    // The whole domain: any draw is uniform.
+                    return rng.$next() as $ty;
+                }
+                let zone: $large = if $use_mod_zone {
+                    let max = <$large>::MAX;
+                    let ints_to_reject = (max - range + 1) % range;
+                    max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = rng.$next() as $large;
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u32, next_u32, true);
+uniform_int_impl!(u16, u32, next_u32, true);
+uniform_int_impl!(u32, u32, next_u32, false);
+uniform_int_impl!(u64, u64, next_u64, false);
+uniform_int_impl!(usize, u64, next_u64, false);
+
+// Signed types sample via the equal-width unsigned offset from `low`,
+// exactly as rand's `UniformInt` does.
+macro_rules! uniform_signed_impl {
+    ($ty:ty, $uty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let offset =
+                    <$uty>::sample_single(0, high.wrapping_sub(low) as $uty, rng);
+                low.wrapping_add(offset as $ty)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                if low == <$ty>::MIN && high == <$ty>::MAX {
+                    return <$uty>::sample_single_inclusive(0, <$uty>::MAX, rng) as $ty;
+                }
+                let offset =
+                    <$uty>::sample_single_inclusive(0, high.wrapping_sub(low) as $uty, rng);
+                low.wrapping_add(offset as $ty)
+            }
+        }
+    };
+}
+
+uniform_signed_impl!(i8, u8);
+uniform_signed_impl!(i16, u16);
+uniform_signed_impl!(i32, u32);
+uniform_signed_impl!(i64, u64);
+uniform_signed_impl!(isize, usize);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $next:ident, $bits_to_discard:expr, $exponent_bias_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let scale = high - low;
+                // A value in [1, 2) from the raw mantissa, then shift down.
+                let value1_2 =
+                    <$ty>::from_bits($exponent_bias_bits | (rng.$next() >> $bits_to_discard));
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                // rand treats inclusive float ranges the same way.
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f64, u64, next_u64, 12u32, 1023u64 << 52);
+uniform_float_impl!(f32, u32, next_u32, 9u32, 127u32 << 23);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn full_u8_inclusive_range_does_not_loop() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let _: u8 = rng.gen_range(0..=u8::MAX);
+        }
+    }
+
+    #[test]
+    fn small_ranges_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _: u32 = rng.gen_range(5..5);
+    }
+}
