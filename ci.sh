@@ -13,7 +13,13 @@ cargo test -q --workspace
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy perf lints (hot-path crates) =="
+cargo clippy -p aurora-core -p aurora-mem -- -D clippy::perf
+
 echo "== capture/replay equivalence =="
 cargo test -q --test packed_replay
+
+echo "== cycle-skip differential equivalence =="
+cargo test -q --test event_horizon_differential
 
 echo "CI OK"

@@ -1,0 +1,60 @@
+//! Core-simulator throughput microbench: times `replay()` per kernel so
+//! hot-loop regressions are visible locally without the full
+//! `perf_baseline` sweep.
+//!
+//! ```text
+//! cargo bench --features criterion --bench sim_core
+//! ```
+//!
+//! The `decode` group measures the packed-trace decode floor alone —
+//! the difference between `decode` and `replay` is the cycle-level
+//! model's own cost, which is what the event-horizon work targets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aurora_bench::harness::{fp_suite, integer_suite};
+use aurora_core::{replay, IssueWidth, MachineModel};
+use aurora_mem::LatencyModel;
+use aurora_workloads::{Scale, TraceStore, Workload};
+
+fn suite() -> Vec<Workload> {
+    let mut s = integer_suite(Scale::Test);
+    s.extend(fp_suite(Scale::Test));
+    s
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let store = TraceStore::global();
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(10);
+    for w in suite() {
+        let trace = store.get(&w).expect("capture");
+        group.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let mut pcs: u64 = 0;
+                for op in trace.iter() {
+                    pcs = pcs.wrapping_add(u64::from(op.pc));
+                }
+                black_box(pcs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let store = TraceStore::global();
+    let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    for w in suite() {
+        let trace = store.get(&w).expect("capture");
+        group.bench_function(w.name(), |b| {
+            b.iter(|| black_box(replay(&cfg, &trace)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_replay);
+criterion_main!(benches);

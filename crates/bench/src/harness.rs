@@ -88,9 +88,15 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
                 if cell >= cells {
                     return;
                 }
-                let (ci, wi) = (cell / workloads.len(), cell % workloads.len());
+                // Workload-major order: consecutive cells replay the same
+                // trace against different configs, so the packed records
+                // stay cache-hot instead of being streamed from memory
+                // once per configuration row.
+                let (wi, ci) = (cell / configs.len(), cell % configs.len());
                 let stats = replay(&configs[ci], &traces[wi]);
-                results[cell].set(stats).expect("cell simulated twice");
+                results[ci * workloads.len() + wi]
+                    .set(stats)
+                    .expect("cell simulated twice");
             });
         }
     });

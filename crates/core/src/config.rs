@@ -72,6 +72,7 @@ impl MachineModel {
             dcache_latency: 3,
             branch_folding: true,
             write_validation: true,
+            cycle_skip: true,
             fpu: FpuConfig::recommended(),
             seed: 0xA0707A_u64,
         }
@@ -216,6 +217,12 @@ pub struct MachineConfig {
     /// Whether the write cache's page-field micro-TLB validates stores
     /// (§2.3). Disabling forces an MMU round trip for *every* store.
     pub write_validation: bool,
+    /// Whether the simulator jumps the clock straight to the next event
+    /// horizon across quiescent stall regions (the fast default). When
+    /// `false` the hot loop walks every intervening cycle and performs
+    /// unit maintenance at each one — a naive reference mode kept for
+    /// differential testing; both modes must produce identical stats.
+    pub cycle_skip: bool,
     /// The decoupled FPU configuration.
     pub fpu: FpuConfig,
     /// Seed for the latency distribution.

@@ -8,7 +8,7 @@
 //! and two result busses. Up to two instructions issue per cycle from the
 //! queue head under the dual-issue policy (§5.8).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use aurora_isa::{ArchReg, OpKind, TraceOp};
 
@@ -73,8 +73,14 @@ pub(crate) struct Fpu {
     fpcc_ready: u64,
     rob: ReorderBuffer,
     unit_free: [u64; 4],
-    /// Completions scheduled per cycle (bounded by `result_busses`).
-    bus_load: BTreeMap<u64, usize>,
+    /// Completions scheduled per cycle (bounded by `result_busses`): a
+    /// dense window of counts where slot `i` covers absolute cycle
+    /// `bus_base + i`. The window spans only the live scheduling range
+    /// (issue cycle to the latest booked completion), so it stays a few
+    /// dozen entries and replaces the allocation-heavy per-cycle map the
+    /// hot path used to rebuild.
+    bus_load: VecDeque<u32>,
+    bus_base: u64,
     last_issue_cycle: u64,
     issued_in_cycle: usize,
     /// Completion of the most recently issued instruction (for the
@@ -96,7 +102,8 @@ impl Fpu {
             fpcc_ready: 0,
             rob,
             unit_free: [0; 4],
-            bus_load: BTreeMap::new(),
+            bus_load: VecDeque::new(),
+            bus_base: 0,
             last_issue_cycle: 0,
             issued_in_cycle: 0,
             prev_completion: 0,
@@ -219,39 +226,35 @@ impl Fpu {
             .map(|r| self.reg_ready(r))
             .max()
             .unwrap_or(0);
-        let mut t = arrive.max(src_ready);
-
         let max_per_cycle = match self.cfg.issue_policy {
             FpIssuePolicy::OutOfOrderDual => 2,
             _ => 1,
         };
 
-        // Fixpoint over the monotone issue constraints.
-        loop {
-            let mut t2 = t;
-            // In-order issue: never before the previous instruction.
-            t2 = t2.max(self.last_issue_cycle);
-            if t2 == self.last_issue_cycle && self.issued_in_cycle >= max_per_cycle {
-                t2 += 1;
-            }
-            // In-order completion policy: previous op must have finished.
-            if self.cfg.issue_policy == FpIssuePolicy::InOrderComplete {
-                t2 = t2.max(self.prev_completion);
-            }
-            // Functional unit availability.
-            if let Some(u) = unit_index(unit) {
-                t2 = t2.max(self.unit_free[u]);
-            }
-            // Reorder-buffer space.
-            self.rob.drain(t2);
-            if !self.rob.has_space() {
-                t2 = t2.max(self.rob.next_free_at().expect("rob full implies entries"));
-                self.rob.drain(t2);
-            }
-            if t2 == t {
-                break;
-            }
-            t = t2;
+        // The issue constraints are all monotone max() bounds that do not
+        // depend on the issue cycle itself, so their fixpoint is the
+        // plain maximum, applied once. The one conditional bump — a full
+        // issue slot in the in-order stream — can only fire at
+        // `last_issue_cycle`, and every later constraint keeps `t` at or
+        // above it, so applying the bump first is exact.
+        // In-order issue: never before the previous instruction.
+        let mut t = arrive.max(src_ready).max(self.last_issue_cycle);
+        if t == self.last_issue_cycle && self.issued_in_cycle >= max_per_cycle {
+            t += 1;
+        }
+        // In-order completion policy: previous op must have finished.
+        if self.cfg.issue_policy == FpIssuePolicy::InOrderComplete {
+            t = t.max(self.prev_completion);
+        }
+        // Functional unit availability.
+        if let Some(u) = unit_index(unit) {
+            t = t.max(self.unit_free[u]);
+        }
+        // Reorder-buffer space.
+        self.rob.drain(t);
+        if !self.rob.has_space() {
+            t = t.max(self.rob.next_free_at().expect("rob full implies entries"));
+            self.rob.drain(t);
         }
 
         // Completion plus a result-bus slot.
@@ -289,7 +292,13 @@ impl Fpu {
         self.latest_event = self.latest_event.max(completion);
         self.iq.push_back(t);
         // Prune stale bus slots: nothing can be scheduled before `t` again.
-        self.bus_load = self.bus_load.split_off(&t);
+        // (Pruned cycles that do get re-requested — e.g. old load data —
+        // start back at zero, exactly as a map rebuild would behave.)
+        if t > self.bus_base {
+            let drop = ((t - self.bus_base) as usize).min(self.bus_load.len());
+            self.bus_load.drain(..drop);
+            self.bus_base = t;
+        }
         #[cfg(feature = "fpu-trace")]
         if trace_enabled(now) {
             eprintln!(
@@ -306,6 +315,22 @@ impl Fpu {
         self.latest_event.max(self.rob.drained_at())
     }
 
+    /// The next cycle after `now` at which an FPU queue drains or an
+    /// in-flight instruction retires — the earliest moment the unit could
+    /// unblock a waiting dispatcher. Part of the event-horizon protocol.
+    pub(crate) fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        [
+            self.iq.front().copied(),
+            self.ldq.front().copied(),
+            self.stq.front().copied(),
+            self.rob.next_free_at(),
+        ]
+        .into_iter()
+        .flatten()
+        .filter(|&t| t > now)
+        .min()
+    }
+
     fn latency_of(&self, kind: OpKind) -> u32 {
         match kind {
             OpKind::FpAdd | OpKind::FpCmp => self.cfg.add_latency,
@@ -319,14 +344,26 @@ impl Fpu {
 
     /// Books a result-bus slot at or after `completion`.
     fn schedule_result_bus(&mut self, completion: u64) -> u64 {
-        let mut c = completion;
-        loop {
-            let used = self.bus_load.entry(c).or_insert(0);
-            if *used < self.cfg.result_busses {
-                *used += 1;
-                return c;
+        if self.bus_load.is_empty() {
+            self.bus_base = completion;
+        } else if completion < self.bus_base {
+            // A request below the window (stale load data after a prune):
+            // grow the window downward so the counts stay addressable.
+            for _ in completion..self.bus_base {
+                self.bus_load.push_front(0);
             }
-            c += 1;
+            self.bus_base = completion;
+        }
+        let mut idx = (completion - self.bus_base) as usize;
+        loop {
+            if idx >= self.bus_load.len() {
+                self.bus_load.resize(idx + 1, 0);
+            }
+            if (self.bus_load[idx] as usize) < self.cfg.result_busses {
+                self.bus_load[idx] += 1;
+                return self.bus_base + idx as u64;
+            }
+            idx += 1;
         }
     }
 }

@@ -22,6 +22,19 @@
 //!
 //! Whole-pipeline stall cycles are attributed to their binding cause,
 //! reproducing the breakdown of paper Figure 6.
+//!
+//! # Event-horizon scheduling
+//!
+//! The clock advances in one jump per issue group: the binding constraint
+//! (the latest per-unit ready time) *is* the next event horizon for the
+//! stalled front end, and every unit exposes a `next_event_cycle()` hook
+//! reporting the earliest cycle its own state can change. Unit
+//! maintenance inside a jump is deferred and applied at the target cycle
+//! in arrival order, which is sound because all of it is monotone and
+//! path-independent (see `docs/MODEL.md`). A naive reference mode
+//! (`MachineConfig::cycle_skip = false`) instead walks every intervening
+//! cycle performing maintenance each time; both modes produce bit-equal
+//! [`SimStats`] and the differential suite enforces it.
 
 use std::collections::VecDeque;
 
@@ -98,8 +111,8 @@ pub struct IssueRecord {
 /// assert!(stats.cpi() >= 1.0);
 /// ```
 #[derive(Debug)]
-pub struct Simulator {
-    cfg: MachineConfig,
+pub struct Simulator<'cfg> {
+    cfg: &'cfg MachineConfig,
     now: u64,
     // Front end.
     icache: DecodedICache,
@@ -114,6 +127,10 @@ pub struct Simulator {
     dcache: DirectMappedCache,
     dcache_port_free: u64,
     pending_fills: Vec<(LineAddr, u64)>,
+    /// Earliest arrival among `pending_fills` (`u64::MAX` when empty):
+    /// the fill unit's event horizon, letting the hot path skip
+    /// [`Simulator::apply_fills`] with one compare.
+    next_fill_at: u64,
     write_cache: WriteCache,
     mshrs: MshrFile,
     streams: Option<StreamBuffers>,
@@ -129,17 +146,17 @@ pub struct Simulator {
     stats: SimStats,
 }
 
-impl Simulator {
-    /// Creates a simulator for `cfg`.
+impl<'cfg> Simulator<'cfg> {
+    /// Creates a simulator borrowing `cfg` (no per-simulation clone).
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`MachineConfig::validate`].
-    pub fn new(cfg: &MachineConfig) -> Simulator {
+    pub fn new(cfg: &'cfg MachineConfig) -> Simulator<'cfg> {
         cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
         let line = cfg.line_bytes;
         Simulator {
-            cfg: cfg.clone(),
+            cfg,
             now: 0,
             icache: DecodedICache::new(Geometry::new(cfg.icache_bytes, line)),
             last_fetch_pair: None,
@@ -151,6 +168,7 @@ impl Simulator {
             dcache: DirectMappedCache::new(Geometry::new(cfg.dcache_bytes, line)),
             dcache_port_free: 0,
             pending_fills: Vec::new(),
+            next_fill_at: u64::MAX,
             write_cache: WriteCache::new(cfg.write_cache_lines),
             mshrs: MshrFile::new(cfg.mshr_entries),
             streams: cfg
@@ -210,7 +228,7 @@ impl Simulator {
 
     /// The configuration this simulator runs.
     pub fn config(&self) -> &MachineConfig {
-        &self.cfg
+        self.cfg
     }
 
     /// Feeds one trace op; issues as soon as pairing look-ahead allows.
@@ -227,9 +245,49 @@ impl Simulator {
     /// (§4.1): the trace is borrowed, so one capture can drive any number
     /// of simulators — concurrently, behind an `Arc` — without
     /// re-emulating the workload or cloning the op buffer.
+    ///
+    /// The issue loop runs straight off the packed record slice: the
+    /// pairing look-ahead reads `ops[i + 1]` in place, so the per-op
+    /// queue shuffle [`Simulator::feed`] pays for incremental delivery
+    /// disappears from the replay hot path.
     pub fn feed_packed(&mut self, trace: &PackedTrace) {
-        for op in trace.iter() {
-            self.feed(op);
+        let ops = trace.records();
+        let mut i = 0;
+        // Ops buffered by earlier feed() calls pair with the trace head.
+        while i < ops.len() && !self.pending.is_empty() {
+            self.feed(ops[i].unpack());
+            i += 1;
+        }
+        if i + 1 < ops.len() {
+            // Each record is decoded exactly once: the look-ahead partner
+            // becomes the next head when the pair does not dual-issue.
+            let mut first = ops[i].unpack();
+            loop {
+                let second = ops[i + 1].unpack();
+                if self.issue_pair(&first, Some(&second)) {
+                    i += 2;
+                    if i + 1 > ops.len() {
+                        return;
+                    }
+                    if i + 1 == ops.len() {
+                        self.pending.push_back(ops[i].unpack());
+                        return;
+                    }
+                    first = ops[i].unpack();
+                } else {
+                    i += 1;
+                    if i + 1 == ops.len() {
+                        self.pending.push_back(second);
+                        return;
+                    }
+                    first = second;
+                }
+            }
+        }
+        if i < ops.len() {
+            // The final op has no pair partner yet; it issues on the next
+            // feed or at finish(), exactly as incremental delivery would.
+            self.pending.push_back(ops[i].unpack());
         }
     }
 
@@ -256,10 +314,27 @@ impl Simulator {
         stats
     }
 
-    /// Issues the next group (one instruction, or an aligned dual pair).
+    /// Issues the next group from the pending queue (one instruction, or
+    /// an aligned dual pair).
     fn issue_group(&mut self) {
         let first = self.pending[0];
-        self.apply_fills(self.now);
+        let second = self.pending.get(1).copied();
+        let consumed_pair = self.issue_pair(&first, second.as_ref());
+        self.pending.pop_front();
+        if consumed_pair {
+            self.pending.pop_front();
+        }
+    }
+
+    /// Issues `first` — plus `second` in the same cycle when the
+    /// dual-issue rules allow — and returns whether the partner was
+    /// consumed. This is the whole issue stage; callers own op delivery
+    /// (the pending queue for [`Simulator::feed`], the packed record
+    /// slice for [`Simulator::feed_packed`]).
+    fn issue_pair(&mut self, first: &TraceOp, second: Option<&TraceOp>) -> bool {
+        if self.next_fill_at <= self.now {
+            self.apply_fills(self.now);
+        }
 
         // --- Constraint gathering for the first instruction -------------
         let redirect = self.delay_pending.take();
@@ -274,7 +349,10 @@ impl Simulator {
         for src in first.sources() {
             consider(self.reg_ready(src), &mut binding);
         }
-        if needs_rob(first.kind) {
+        if needs_rob(first.kind) && !self.rob.has_space() {
+            // Retirement is in-order and monotone, so draining lazily —
+            // only when the buffer looks full — frees exactly the same
+            // entries an eager per-cycle drain would have.
             self.rob.drain(self.now);
             if !self.rob.has_space() {
                 let free = self.rob.next_free_at().expect("full rob has entries");
@@ -284,7 +362,7 @@ impl Simulator {
         if first.kind.is_memory() {
             consider((self.dcache_port_free, StallKind::LsuBusy), &mut binding);
             self.mshrs.expire(self.now);
-            if !self.mshrs.has_free() && !self.can_merge(&first) {
+            if !self.mshrs.has_free() && !self.can_merge(first) {
                 let free = self
                     .mshrs
                     .earliest_completion()
@@ -305,19 +383,15 @@ impl Simulator {
         if t > self.now {
             self.stats.stalls[reason] += t - self.now;
         }
-        self.apply_fills(t);
-        self.rob.drain(t);
-        self.mshrs.expire(t);
+        self.advance_to(t);
 
         // --- Dual-issue check for the pair partner ----------------------
-        let second = self.pending.get(1).copied();
         let dual = second
-            .map(|s| self.can_dual_issue(&first, &s, t))
+            .map(|s| self.can_dual_issue(first, s, t))
             .unwrap_or(false);
 
         // --- Execute -----------------------------------------------------
-        self.execute(&first, t);
-        self.pending.pop_front();
+        self.execute(first, t);
         self.stats.instructions += 1;
         if self.issue_log.is_some() {
             let stall_cycles = t.saturating_sub(pre_issue_now);
@@ -331,8 +405,8 @@ impl Simulator {
             });
         }
         if dual {
-            let s = self.pending.pop_front().expect("dual implies a second op");
-            self.execute(&s, t);
+            let s = second.expect("dual implies a second op");
+            self.execute(s, t);
             self.stats.instructions += 1;
             self.stats.dual_issues += 1;
             if self.issue_log.is_some() {
@@ -347,6 +421,59 @@ impl Simulator {
             }
         }
         self.now = t + 1;
+        dual
+    }
+
+    /// Advances unit state from `self.now` to the issue cycle `t`.
+    ///
+    /// In skip mode (the default) the clock jumps straight to `t`: the
+    /// stall region is quiescent by construction — `t` is the binding
+    /// constraint, the latest of the per-unit ready times — and deferred
+    /// maintenance (fill application, ROB retirement, MSHR release) is
+    /// monotone and path-independent, so performing it once at `t`
+    /// reaches the same state as performing it each cycle. The naive
+    /// reference mode walks every intervening cycle and performs
+    /// maintenance at each, validating exactly that claim: both modes
+    /// must produce bit-equal [`SimStats`].
+    fn advance_to(&mut self, t: u64) {
+        if self.cfg.cycle_skip {
+            if self.next_fill_at <= t {
+                self.apply_fills(t);
+            }
+            self.mshrs.expire(t);
+        } else {
+            let mut c = self.now;
+            loop {
+                self.apply_fills(c);
+                self.rob.drain(c);
+                self.mshrs.expire(c);
+                if c >= t {
+                    break;
+                }
+                c += 1;
+            }
+        }
+    }
+
+    /// The earliest cycle after the current one at which any unit's
+    /// observable state can change: the aggregate event horizon. `None`
+    /// means the machine is fully drained — nothing is in flight anywhere
+    /// and only a new instruction can change state.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let now = self.now;
+        [
+            (self.next_fill_at != u64::MAX).then_some(self.next_fill_at),
+            self.mshrs.next_event_cycle(),
+            self.rob.next_event_cycle(),
+            self.biu.next_event_cycle(now),
+            self.streams.as_ref().and_then(|s| s.next_event_cycle(now)),
+            self.fpu.next_event_cycle(now),
+            (self.dcache_port_free > now).then_some(self.dcache_port_free),
+        ]
+        .into_iter()
+        .flatten()
+        .filter(|&t| t > now)
+        .min()
     }
 
     /// Whether `second` can issue in the same cycle `t` as `first`.
@@ -380,7 +507,7 @@ impl Simulator {
             return false;
         }
         let rob_needed = usize::from(needs_rob(first.kind)) + usize::from(needs_rob(second.kind));
-        if rob_needed > 0 {
+        if rob_needed > 0 && self.rob.capacity() - self.rob.occupancy() < rob_needed {
             self.rob.drain(t);
             if self.rob.capacity() - self.rob.occupancy() < rob_needed {
                 return false;
@@ -478,23 +605,29 @@ impl Simulator {
         }
     }
 
-    /// Applies data-cache fills that have arrived by cycle `t`.
+    /// Applies data-cache fills that have arrived by cycle `t`, in
+    /// arrival order — the order a per-cycle walk would apply them, so
+    /// skip and naive modes install lines into the cache identically.
     fn apply_fills(&mut self, t: u64) {
-        if self.pending_fills.is_empty() {
+        if self.next_fill_at > t {
             return;
         }
+        // Few fills are ever outstanding (bounded by the MSHR file), so
+        // the stable sort is a handful of compares at most.
+        self.pending_fills.sort_by_key(|&(_, arrival)| arrival);
         let mut port = self.dcache_port_free;
-        let dcache = &mut self.dcache;
-        self.pending_fills.retain(|&(line, arrival)| {
-            if arrival <= t {
-                dcache.fill_line(line);
-                // The fill occupies the data busses (§5.3 LSU-busy).
-                port = port.max(arrival + FILL_BLOCK_CYCLES);
-                false
-            } else {
-                true
+        let mut due = 0;
+        while let Some(&(line, arrival)) = self.pending_fills.get(due) {
+            if arrival > t {
+                break;
             }
-        });
+            self.dcache.fill_line(line);
+            // The fill occupies the data busses (§5.3 LSU-busy).
+            port = port.max(arrival + FILL_BLOCK_CYCLES);
+            due += 1;
+        }
+        self.pending_fills.drain(..due);
+        self.next_fill_at = self.pending_fills.first().map_or(u64::MAX, |&(_, a)| a);
         self.dcache_port_free = port;
     }
 
@@ -602,6 +735,7 @@ impl Simulator {
         }
         let arrival = self.service_miss(line, t, false);
         self.pending_fills.push((line, arrival));
+        self.next_fill_at = self.next_fill_at.min(arrival);
         self.mshrs
             .allocate(line, arrival)
             .expect("issue logic ensured a free MSHR");
@@ -652,9 +786,9 @@ impl Simulator {
         is_load && {
             let line = self.dcache.geometry().line(u64::from(ea));
             // A merge applies when the line misses but is already in
-            // flight; peek without disturbing statistics.
-            !self.dcache.contains(u64::from(ea))
-                && self.mshrs.clone().lookup(line).is_some()
+            // flight; probe is side-effect free, so no merge is counted
+            // and no clone of the file is needed.
+            !self.dcache.contains(u64::from(ea)) && self.mshrs.probe(line).is_some()
         }
     }
 

@@ -71,6 +71,7 @@ pub(crate) fn pack_kind(kind: OpKind) -> (u8, u8, u32) {
 }
 
 /// Rebuilds an [`OpKind`] from its `(tag, aux, payload)` encoding.
+#[inline]
 pub(crate) fn unpack_kind(tag: u8, aux: u8, payload: u32) -> Result<OpKind, String> {
     Ok(match tag {
         K_INT_ALU => OpKind::IntAlu,
@@ -107,6 +108,7 @@ pub(crate) fn encode_reg(r: Option<ArchReg>) -> u8 {
     }
 }
 
+#[inline]
 pub(crate) fn decode_reg(b: u8) -> Result<Option<ArchReg>, String> {
     Ok(match b {
         0 => None,
@@ -127,6 +129,7 @@ pub(crate) fn encode_width(w: MemWidth) -> u8 {
     }
 }
 
+#[inline]
 pub(crate) fn decode_width(b: u8) -> Result<MemWidth, String> {
     Ok(match b {
         1 => MemWidth::Byte,

@@ -26,6 +26,16 @@ impl Memory {
     }
 
     fn read(&self, addr: u32, buf: &mut [u8]) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + buf.len() <= PAGE_SIZE {
+            // Common case: the access sits inside one page — a single
+            // page lookup instead of one per byte.
+            match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => buf.copy_from_slice(&p[off..off + buf.len()]),
+                None => buf.fill(0),
+            }
+            return;
+        }
         for (i, b) in buf.iter_mut().enumerate() {
             let a = addr.wrapping_add(i as u32);
             *b = match self.pages.get(&(a >> PAGE_BITS)) {
@@ -36,6 +46,11 @@ impl Memory {
     }
 
     fn write(&mut self, addr: u32, bytes: &[u8]) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + bytes.len() <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
         for (i, &b) in bytes.iter().enumerate() {
             let a = addr.wrapping_add(i as u32);
             self.page_mut(a)[(a as usize) & (PAGE_SIZE - 1)] = b;
@@ -114,6 +129,11 @@ impl std::error::Error for EmuError {}
 #[derive(Debug, Clone)]
 pub struct Emulator<'p> {
     program: &'p Program,
+    /// Per-static-instruction [`TraceOp`] skeletons, indexed like the text
+    /// segment. Everything but the effective address, branch outcome and
+    /// dynamic jump target is a pure function of the instruction word, so
+    /// it is derived once here instead of on every retirement.
+    templates: Vec<TraceOp>,
     regs: [u32; 32],
     fregs: [u32; 32],
     hi: u32,
@@ -136,8 +156,16 @@ impl<'p> Emulator<'p> {
         let mut regs = [0; 32];
         regs[Reg::SP.number() as usize] = STACK_TOP;
         regs[Reg::GP.number() as usize] = program.data().base;
+        let base = program.text_base();
+        let templates = program
+            .instructions()
+            .iter()
+            .enumerate()
+            .map(|(i, ins)| make_trace_op(base + 4 * i as u32, ins))
+            .collect();
         Emulator {
             program,
+            templates,
             regs,
             fregs: [0; 32],
             hi: 0,
@@ -271,14 +299,18 @@ impl<'p> Emulator<'p> {
             .program
             .instruction_at(pc)
             .ok_or(EmuError::BadPc { pc })?;
-        if self.in_delay_slot && instr.op.is_control_flow() {
+        // instruction_at validated the address, so the template index is
+        // in range. The template's kind mirrors the opcode class, so the
+        // control-flow test reads it instead of re-deriving the class.
+        let mut op = self.templates[((pc - self.program.text_base()) / 4) as usize];
+        let is_ctl = op.kind.is_control_flow();
+        if self.in_delay_slot && is_ctl {
             return Err(EmuError::BranchInDelaySlot { pc });
         }
-        self.in_delay_slot = instr.op.is_control_flow();
+        self.in_delay_slot = is_ctl;
 
         let mut target_after_delay: Option<u32> = None;
         let r = |e: &Emulator<'_>, reg: Reg| e.regs[reg.number() as usize];
-        let mut op = make_trace_op(pc, &instr);
 
         use Opcode::*;
         match instr.op {
@@ -507,15 +539,12 @@ impl<'p> Emulator<'p> {
         }
 
         // Fill in the actual effective address for memory ops.
-        if instr.op.is_memory() {
-            let ea = self.effective_address(&instr);
-            op.kind = match op.kind {
-                OpKind::Load { width, .. } => OpKind::Load { ea, width },
-                OpKind::Store { width, .. } => OpKind::Store { ea, width },
-                OpKind::FpLoad { width, .. } => OpKind::FpLoad { ea, width },
-                OpKind::FpStore { width, .. } => OpKind::FpStore { ea, width },
-                other => other,
-            };
+        match &mut op.kind {
+            OpKind::Load { ea, .. }
+            | OpKind::Store { ea, .. }
+            | OpKind::FpLoad { ea, .. }
+            | OpKind::FpStore { ea, .. } => *ea = self.effective_address(&instr),
+            _ => {}
         }
 
         self.pc = self.next_pc;

@@ -69,6 +69,7 @@ impl PackedOp {
     }
 
     /// Expands back into the simulator's working representation.
+    #[inline]
     pub fn unpack(&self) -> TraceOp {
         // Fields only enter a PackedOp through `pack` or validated I/O,
         // so decoding cannot fail.
@@ -147,6 +148,12 @@ impl PackedTrace {
     /// Iterates the trace, decoding records on the fly.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = TraceOp> + '_ {
         self.ops.iter().map(PackedOp::unpack)
+    }
+
+    /// The raw packed records, for replay loops that want to control
+    /// decoding (e.g. pairwise look-ahead without an intermediate queue).
+    pub fn records(&self) -> &[PackedOp] {
+        &self.ops
     }
 
     /// Serialises in the [`trace_io`](crate::trace_io) binary format.

@@ -133,6 +133,7 @@ pub enum OpKind {
 
 impl OpKind {
     /// Whether this op accesses data memory.
+    #[inline]
     pub fn is_memory(self) -> bool {
         matches!(
             self,
@@ -141,6 +142,7 @@ impl OpKind {
     }
 
     /// Whether this op executes in the decoupled FPU.
+    #[inline]
     pub fn is_fpu(self) -> bool {
         matches!(
             self,
@@ -193,6 +195,7 @@ impl TraceOp {
     }
 
     /// Iterates over the (up to two) source registers.
+    #[inline]
     pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
         self.src1.into_iter().chain(self.src2)
     }

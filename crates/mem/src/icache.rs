@@ -11,7 +11,6 @@
 
 use crate::addr::Geometry;
 use crate::cache::{CacheStats, DirectMappedCache};
-use std::collections::HashMap;
 
 /// Pre-decode information for one instruction pair (Figure 3 fields).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,10 +26,12 @@ pub struct PairInfo {
 
 /// A direct-mapped instruction cache holding pre-decoded pairs.
 ///
-/// Pair pre-decode entries persist across evictions: program text is
-/// immutable, so a re-filled line's pre-decode is identical, and entries
-/// for non-resident lines are never consulted (the tag probe gates every
-/// use). This keeps the model simple without being wrong.
+/// Pre-decode entries live in a slot-indexed side array with one slot per
+/// pair position of every cache line — the hardware arrangement of
+/// Figure 3, where the DI/CONT/NEXT bits are part of the cache line
+/// itself. Replacing a line discards its pre-decode (the new text must be
+/// decoded afresh), and a pair lookup is one array index with no hashing
+/// or heap traffic on the simulator's fetch path.
 ///
 /// ```
 /// use aurora_mem::{DecodedICache, Geometry, PairInfo};
@@ -46,13 +47,31 @@ pub struct PairInfo {
 #[derive(Debug, Clone)]
 pub struct DecodedICache {
     cache: DirectMappedCache,
-    pairs: HashMap<u64, PairInfo>,
+    /// `num_lines * pairs_per_line` pre-decode slots, index-parallel with
+    /// the tag array; `None` marks a never-decoded (or replaced) pair.
+    pairs: Vec<Option<PairInfo>>,
+    pairs_per_line: usize,
 }
 
 impl DecodedICache {
     /// Creates an empty pre-decoded cache.
     pub fn new(geom: Geometry) -> DecodedICache {
-        DecodedICache { cache: DirectMappedCache::new(geom), pairs: HashMap::new() }
+        let pairs_per_line = (geom.line_bytes() / 8).max(1) as usize;
+        DecodedICache {
+            cache: DirectMappedCache::new(geom),
+            pairs: vec![None; geom.num_lines() as usize * pairs_per_line],
+            pairs_per_line,
+        }
+    }
+
+    /// Side-array slot for the pair containing `pc`: the line's index
+    /// scaled by pairs-per-line, plus the pair's position within the line.
+    /// The pair is identified by `pc >> 3`: EVEN instructions occupy the
+    /// lower of two consecutive word addresses (§2, Figure 3).
+    fn slot(&self, pc: u64) -> usize {
+        let geom = self.cache.geometry();
+        geom.index(pc) * self.pairs_per_line
+            + ((pc >> 3) as usize & (self.pairs_per_line - 1))
     }
 
     /// The underlying geometry.
@@ -70,23 +89,28 @@ impl DecodedICache {
         self.cache.contains(pc)
     }
 
-    /// Installs the line containing `pc`.
+    /// Installs the line containing `pc`. Replacing a line with different
+    /// text invalidates its pre-decode slots: the DI/CONT/NEXT fields are
+    /// stored with the line and leave with it (Figure 3).
     pub fn fill(&mut self, pc: u64) -> bool {
+        if !self.cache.contains(pc) {
+            let base = self.cache.geometry().index(pc) * self.pairs_per_line;
+            self.pairs[base..base + self.pairs_per_line].fill(None);
+        }
         self.cache.fill(pc)
     }
 
     /// Records pre-decode information for the pair containing `pc`.
-    ///
-    /// The pair is identified by `pc >> 3`: EVEN instructions occupy the
-    /// lower of two consecutive word addresses (§2, Figure 3).
     pub fn record_pair(&mut self, pc: u64, info: PairInfo) {
-        self.pairs.insert(pc >> 3, info);
+        let slot = self.slot(pc);
+        self.pairs[slot] = Some(info);
     }
 
-    /// Pre-decode info for the pair containing `pc`, if it has ever been
-    /// decoded. Only meaningful when [`DecodedICache::contains`] holds.
+    /// Pre-decode info for the pair containing `pc`, if the resident line's
+    /// pair has been decoded. Only meaningful when
+    /// [`DecodedICache::contains`] holds.
     pub fn pair_info(&self, pc: u64) -> Option<PairInfo> {
-        self.pairs.get(&(pc >> 3)).copied()
+        self.pairs[self.slot(pc)]
     }
 
     /// Whether a taken control transfer from the pair at `branch_pc` can be
@@ -149,13 +173,19 @@ mod tests {
     }
 
     #[test]
-    fn predecode_survives_eviction() {
+    fn predecode_invalidated_on_replacement() {
         let mut ic = icache();
         ic.fill(0x0);
         ic.record_pair(0x0, PairInfo { has_control_flow: true, ..Default::default() });
-        ic.fill(1024); // evicts line 0 (1 KB cache)
+        assert!(ic.pair_info(0x0).unwrap().has_control_flow);
+        ic.fill(1024); // evicts line 0 (1 KB cache): pre-decode leaves with it
         assert!(!ic.contains(0x0));
-        // Refill: pre-decode is still there, as the text is immutable.
+        assert!(ic.pair_info(0x0).is_none());
+        // Refill: the line must be decoded afresh.
+        ic.fill(0x0);
+        assert!(ic.pair_info(0x0).is_none());
+        // Re-filling a line that is already resident keeps its pre-decode.
+        ic.record_pair(0x0, PairInfo { has_control_flow: true, ..Default::default() });
         ic.fill(0x0);
         assert!(ic.pair_info(0x0).unwrap().has_control_flow);
     }

@@ -57,6 +57,10 @@ struct Entry {
 pub struct MshrFile {
     entries: Vec<Entry>,
     capacity: usize,
+    /// Earliest `ready_at` among live entries (`u64::MAX` when empty).
+    /// Lets [`MshrFile::expire`] bail out with one comparison on the
+    /// simulator's hot path instead of scanning the file every call.
+    next_ready: u64,
     stats: MshrStats,
 }
 
@@ -69,7 +73,12 @@ impl MshrFile {
     /// single register is exactly the blocking-cache configuration).
     pub fn new(capacity: usize) -> MshrFile {
         assert!(capacity > 0);
-        MshrFile { entries: Vec::with_capacity(capacity), capacity, stats: MshrStats::default() }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next_ready: u64::MAX,
+            stats: MshrStats::default(),
+        }
     }
 
     /// Number of registers.
@@ -85,11 +94,18 @@ impl MshrFile {
     /// If `line` is already being fetched, returns the cycle its fill
     /// completes (a secondary miss merges; no new register is used).
     pub fn lookup(&mut self, line: LineAddr) -> Option<u64> {
-        let hit = self.entries.iter().find(|e| e.line == line).map(|e| e.ready_at);
+        let hit = self.probe(line);
         if hit.is_some() {
             self.stats.merges += 1;
         }
         hit
+    }
+
+    /// Like [`MshrFile::lookup`] but non-consuming and side-effect free:
+    /// no merge is counted. This is the issue-stage peek — "could this op
+    /// ride an outstanding fill?" — asked before the op actually issues.
+    pub fn probe(&self, line: LineAddr) -> Option<u64> {
+        self.entries.iter().find(|e| e.line == line).map(|e| e.ready_at)
     }
 
     /// Tries to allocate a register for a primary miss on `line` whose
@@ -101,20 +117,35 @@ impl MshrFile {
             return None;
         }
         self.entries.push(Entry { line, ready_at });
+        self.next_ready = self.next_ready.min(ready_at);
         self.stats.allocations += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len() as u32);
         Some(())
     }
 
-    /// Releases every entry whose fill has completed by `now`.
+    /// Releases every entry whose fill has completed by `now`. O(1) when
+    /// nothing has completed yet (the common case on the issue path).
     pub fn expire(&mut self, now: u64) {
+        if now < self.next_ready {
+            return;
+        }
         self.entries.retain(|e| e.ready_at > now);
+        self.next_ready =
+            self.entries.iter().map(|e| e.ready_at).min().unwrap_or(u64::MAX);
     }
 
     /// The earliest cycle at which any entry completes, if any are live.
     /// When the file is full, this is when the stalled requester can retry.
     pub fn earliest_completion(&self) -> Option<u64> {
-        self.entries.iter().map(|e| e.ready_at).min()
+        (self.next_ready != u64::MAX).then_some(self.next_ready)
+    }
+
+    /// The next cycle at which this unit's observable state can change —
+    /// the earliest outstanding fill return, if any. Part of the
+    /// event-horizon protocol: a simulator may skip straight over any
+    /// cycle range that ends before every unit's reported event.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.earliest_completion()
     }
 
     /// Whether a new primary miss can be accepted right now.
@@ -168,6 +199,32 @@ mod tests {
         assert_eq!(m.occupancy(), 1);
         assert_eq!(m.lookup(LineAddr(2)), Some(20));
         assert_eq!(m.lookup(LineAddr(1)), None);
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr(3), 40).unwrap();
+        assert_eq!(m.probe(LineAddr(3)), Some(40));
+        assert_eq!(m.probe(LineAddr(3)), Some(40));
+        assert_eq!(m.probe(LineAddr(9)), None);
+        assert_eq!(m.stats().merges, 0, "probe must not count merges");
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn expire_early_out_keeps_earliest_exact() {
+        let mut m = MshrFile::new(4);
+        m.allocate(LineAddr(1), 30).unwrap();
+        m.allocate(LineAddr(2), 10).unwrap();
+        assert_eq!(m.next_event_cycle(), Some(10));
+        m.expire(5); // nothing completes: early-out path
+        assert_eq!(m.occupancy(), 2);
+        m.expire(10);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.next_event_cycle(), Some(30));
+        m.expire(30);
+        assert_eq!(m.next_event_cycle(), None);
     }
 
     #[test]

@@ -88,6 +88,9 @@ impl fmt::Display for WriteCacheStats {
 #[derive(Debug, Clone, Copy)]
 struct Line {
     line: LineAddr,
+    /// The line's page number, cached so the per-store micro-TLB scan is
+    /// a plain compare instead of a byte-address reconstruction + divide.
+    page: u64,
     /// Per-word valid bits (bit i = word i of the line).
     word_mask: u8,
     last_used: u64,
@@ -153,10 +156,7 @@ impl WriteCache {
         let line = self.geom.line(addr);
         let mask = word_mask(addr, bytes);
         let page = addr / PAGE_BYTES;
-        let validated = self
-            .lines
-            .iter()
-            .any(|l| l.line.to_bytes(self.geom.line_bytes()) / PAGE_BYTES == page);
+        let validated = self.lines.iter().any(|l| l.page == page);
         if !validated {
             self.stats.validations += 1;
         }
@@ -182,7 +182,7 @@ impl WriteCache {
         } else {
             None
         };
-        self.lines.push(Line { line, word_mask: mask, last_used: self.clock });
+        self.lines.push(Line { line, page, word_mask: mask, last_used: self.clock });
         StoreOutcome { hit: false, evicted, needs_validation: !validated }
     }
 
@@ -231,15 +231,11 @@ impl WriteCache {
 
 /// Bitmask of the words in a line touched by an access.
 fn word_mask(addr: u64, bytes: u32) -> u8 {
-    let first = (addr % (WORDS_PER_LINE as u64 * 4)) / 4;
+    let first = ((addr >> 2) & (WORDS_PER_LINE as u64 - 1)) as u32;
     let words = bytes.div_ceil(4).max(1);
-    let mut mask = 0u8;
-    for w in 0..words as u64 {
-        if first + w < WORDS_PER_LINE as u64 {
-            mask |= 1 << (first + w);
-        }
-    }
-    mask
+    // Words past the line end fall off the top in the u8 truncation,
+    // matching the bounds check the loop form used to perform.
+    ((((1u32 << words) - 1) << first) & 0xff) as u8
 }
 
 #[cfg(test)]

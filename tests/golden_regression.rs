@@ -12,17 +12,22 @@ use aurora3::workloads::{synthetic::SyntheticConfig, FpBenchmark, IntBenchmark, 
 // vendor/rand): instruction counts and the su2cor row are bit-identical
 // to the original registry crate, and the remaining cycle counts moved
 // by <=1.5% from residual differences in derived data addresses.
-const GOLDEN: &[(&str, u64, u64)] = &[
-    ("eqntott-small-single", 1_567_393, 575_330),
-    ("eqntott-base-dual", 1_048_859, 575_330),
-    ("eqntott-large-dual", 610_299, 575_330),
-    ("su2cor-base-dual", 216_733, 98_386),
-    ("synthetic-base-dual", 102_388, 20_000),
+//
+// Columns: cycles, instructions, I-cache hits, I-cache misses. The
+// I-cache columns pin the front end's probe behaviour exactly — the
+// slot-indexed `DecodedICache` and the event-horizon issue loop must
+// probe the same pairs the original per-cycle HashMap walk did.
+const GOLDEN: &[(&str, u64, u64, u64, u64)] = &[
+    ("eqntott-small-single", 1_567_393, 575_330, 251_432, 56_739),
+    ("eqntott-base-dual", 1_048_859, 575_330, 267_705, 40_466),
+    ("eqntott-large-dual", 610_299, 575_330, 308_067, 104),
+    ("su2cor-base-dual", 216_733, 98_386, 49_195, 5),
+    ("synthetic-base-dual", 102_388, 20_000, 9_251, 2_063),
 ];
 
-fn lookup(name: &str) -> (u64, u64) {
-    let (_, c, i) = GOLDEN.iter().find(|(n, ..)| *n == name).unwrap();
-    (*c, *i)
+fn lookup(name: &str) -> (u64, u64, u64, u64) {
+    let (_, c, i, ih, im) = GOLDEN.iter().find(|(n, ..)| *n == name).unwrap();
+    (*c, *i, *ih, *im)
 }
 
 #[test]
@@ -37,8 +42,9 @@ fn integer_kernel_goldens() {
         let mut sim = Simulator::new(&cfg);
         w.run_traced(|op| sim.feed(op)).unwrap();
         let s = sim.finish();
-        let (cycles, instructions) = lookup(name);
+        let (cycles, instructions, ic_hits, ic_misses) = lookup(name);
         assert_eq!((s.cycles, s.instructions), (cycles, instructions), "{name}");
+        assert_eq!((s.icache.hits, s.icache.misses), (ic_hits, ic_misses), "{name} icache");
     }
 }
 
@@ -49,8 +55,9 @@ fn fp_kernel_golden() {
     let mut sim = Simulator::new(&cfg);
     w.run_traced(|op| sim.feed(op)).unwrap();
     let s = sim.finish();
-    let (cycles, instructions) = lookup("su2cor-base-dual");
+    let (cycles, instructions, ic_hits, ic_misses) = lookup("su2cor-base-dual");
     assert_eq!((s.cycles, s.instructions), (cycles, instructions));
+    assert_eq!((s.icache.hits, s.icache.misses), (ic_hits, ic_misses));
 }
 
 #[test]
@@ -62,6 +69,7 @@ fn synthetic_golden() {
         sim.feed(op);
     }
     let s = sim.finish();
-    let (cycles, instructions) = lookup("synthetic-base-dual");
+    let (cycles, instructions, ic_hits, ic_misses) = lookup("synthetic-base-dual");
     assert_eq!((s.cycles, s.instructions), (cycles, instructions));
+    assert_eq!((s.icache.hits, s.icache.misses), (ic_hits, ic_misses));
 }
