@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, test, lint, and check capture/replay
+# Offline CI gate: format, lint, build, test, and check capture/replay
 # equivalence. Run from the repo root; exits non-zero on any failure.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "== aurora-lint (workspace invariant gate, docs/LINTS.md) =="
+cargo run -q -p aurora-lint
 
 echo "== build (release) =="
 cargo build --release --workspace
@@ -10,11 +16,14 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== aurora-lint self-tests (fixture rules) =="
+cargo test -q -p aurora-lint
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== clippy perf lints (hot-path crates) =="
-cargo clippy -p aurora-core -p aurora-mem -- -D clippy::perf
+echo "== clippy perf lints (hot-path + codec crates) =="
+cargo clippy -p aurora-core -p aurora-mem -p aurora-isa -- -D clippy::perf
 
 echo "== capture/replay equivalence =="
 cargo test -q --test packed_replay

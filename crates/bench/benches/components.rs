@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use aurora_core::ReorderBuffer;
 use aurora_mem::{
-    Biu, DirectMappedCache, Geometry, LatencyModel, LineAddr, MshrFile, StreamBuffers,
-    StreamProbe, TransferKind, WriteCache,
+    Biu, DirectMappedCache, Geometry, LatencyModel, LineAddr, MshrFile, StreamBuffers, StreamProbe,
+    TransferKind, WriteCache,
 };
 
 fn bench_cache(c: &mut Criterion) {

@@ -58,12 +58,20 @@ fn fig5_fig7_memory_features(c: &mut Criterion) {
     let mut no_prefetch = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
     no_prefetch.prefetch_enabled = false;
     group.bench_function("no_prefetch", |b| {
-        b.iter_batched(|| trace.clone(), |t| simulate(&no_prefetch, t), BatchSize::LargeInput)
+        b.iter_batched(
+            || trace.clone(),
+            |t| simulate(&no_prefetch, t),
+            BatchSize::LargeInput,
+        )
     });
     let mut one_mshr = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
     one_mshr.mshr_entries = 1;
     group.bench_function("one_mshr", |b| {
-        b.iter_batched(|| trace.clone(), |t| simulate(&one_mshr, t), BatchSize::LargeInput)
+        b.iter_batched(
+            || trace.clone(),
+            |t| simulate(&one_mshr, t),
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }
@@ -74,7 +82,11 @@ fn tab3_tab5_models(c: &mut Criterion) {
     for model in MachineModel::ALL {
         let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         group.bench_function(format!("{model}"), |b| {
-            b.iter_batched(|| trace.clone(), |t| simulate(&cfg, t), BatchSize::LargeInput)
+            b.iter_batched(
+                || trace.clone(),
+                |t| simulate(&cfg, t),
+                BatchSize::LargeInput,
+            )
         });
     }
     group.finish();
@@ -91,13 +103,21 @@ fn tab6_fig9_fpu(c: &mut Criterion) {
         let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         cfg.fpu.issue_policy = policy;
         group.bench_function(format!("{policy}"), |b| {
-            b.iter_batched(|| trace.clone(), |t| simulate(&cfg, t), BatchSize::LargeInput)
+            b.iter_batched(
+                || trace.clone(),
+                |t| simulate(&cfg, t),
+                BatchSize::LargeInput,
+            )
         });
     }
     let mut deep = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
     deep.fpu.div_latency = 30;
     group.bench_function("div30", |b| {
-        b.iter_batched(|| trace.clone(), |t| simulate(&deep, t), BatchSize::LargeInput)
+        b.iter_batched(
+            || trace.clone(),
+            |t| simulate(&deep, t),
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }

@@ -49,9 +49,7 @@ fn bench_replay(c: &mut Criterion) {
     group.sample_size(10);
     for w in suite() {
         let trace = store.get(&w).expect("capture");
-        group.bench_function(w.name(), |b| {
-            b.iter(|| black_box(replay(&cfg, &trace)))
-        });
+        group.bench_function(w.name(), |b| b.iter(|| black_box(replay(&cfg, &trace))));
     }
     group.finish();
 }

@@ -12,7 +12,12 @@
 //! * **instruction-cache-only upgrade** (§5.6/§6: baseline + 4 KB I$
 //!   nearly matches the large model),
 //! * **secondary-memory latency** 9–100 cycles (§1: miss penalties "will
-//!   rise ... to as many as 100 clock cycles").
+//!   rise ... to as many as 100 clock cycles"),
+//! * **cache line size** 16–64 bytes (Table 1 fixes 32 bytes everywhere;
+//!   the prefetch and write-coalescing machinery is line-granular),
+//! * **stream-buffer depth** 1–8 lines per buffer,
+//! * **latency-distribution seed** sensitivity (a DRAM-spread result must
+//!   not be an artifact of one random stream).
 
 use aurora_bench::harness::{cpi, cpi_range, integer_suite, run_suite, scale_from_args, TextTable};
 use aurora_core::{IssueWidth, MachineConfig, MachineModel};
@@ -39,7 +44,11 @@ fn main() {
     cfg.branch_folding = false;
     let without = avg(&cfg, &suite);
     println!("folding on:  {}", cpi(with));
-    println!("folding off: {}  (+{:.1}% CPI)", cpi(without), 100.0 * (without - with) / with);
+    println!(
+        "folding off: {}  (+{:.1}% CPI)",
+        cpi(without),
+        100.0 * (without - with) / with
+    );
 
     // Write validation.
     println!("\n== write validation (micro-TLB, 2.3) ==");
@@ -59,7 +68,11 @@ fn main() {
     for lines in [1usize, 2, 4, 8, 16] {
         let mut cfg = base();
         cfg.write_cache_lines = lines;
-        t.row([lines.to_string(), cpi(avg(&cfg, &suite)), ipu_cost(&cfg).0.to_string()]);
+        t.row([
+            lines.to_string(),
+            cpi(avg(&cfg, &suite)),
+            ipu_cost(&cfg).0.to_string(),
+        ]);
     }
     println!("{}", t.render());
     println!("paper: beyond 4 lines the benefit is small.");
@@ -80,12 +93,24 @@ fn main() {
     println!("\n== instruction-cache-only upgrade (5.6) ==");
     let mut t = TextTable::new(["config", "avg CPI", "cost RBE"]);
     let b = base();
-    t.row(["baseline (2K I$)".to_string(), cpi(avg(&b, &suite)), ipu_cost(&b).0.to_string()]);
+    t.row([
+        "baseline (2K I$)".to_string(),
+        cpi(avg(&b, &suite)),
+        ipu_cost(&b).0.to_string(),
+    ]);
     let mut e = base();
     e.icache_bytes = 4096;
-    t.row(["baseline + 4K I$".to_string(), cpi(avg(&e, &suite)), ipu_cost(&e).0.to_string()]);
+    t.row([
+        "baseline + 4K I$".to_string(),
+        cpi(avg(&e, &suite)),
+        ipu_cost(&e).0.to_string(),
+    ]);
     let l = MachineModel::Large.config(IssueWidth::Dual, LatencyModel::Fixed(17));
-    t.row(["large".to_string(), cpi(avg(&l, &suite)), ipu_cost(&l).0.to_string()]);
+    t.row([
+        "large".to_string(),
+        cpi(avg(&l, &suite)),
+        ipu_cost(&l).0.to_string(),
+    ]);
     println!("{}", t.render());
     println!("paper: the I$-only upgrade achieves nearly the large model's");
     println!("performance at much lower cost.");
@@ -94,8 +119,12 @@ fn main() {
     println!("\n== secondary-memory latency scaling (1) ==");
     let mut t = TextTable::new(["latency", "single CPI", "dual CPI", "dual gain %"]);
     for lat in [9u32, 17, 35, 60, 100] {
-        let s = MachineModel::Baseline.config(IssueWidth::Single, LatencyModel::Fixed(lat));
-        let d = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(lat));
+        let mut s = base();
+        s.issue_width = IssueWidth::Single;
+        s.memory_latency = LatencyModel::Fixed(lat);
+        let mut d = base();
+        d.issue_width = IssueWidth::Dual;
+        d.memory_latency = LatencyModel::Fixed(lat);
         let cs = avg(&s, &suite);
         let cd = avg(&d, &suite);
         t.row([
@@ -108,4 +137,40 @@ fn main() {
     println!("{}", t.render());
     println!("paper: 'large memory latencies reduce the benefit of");
     println!("superscalar-issue' (6) — the dual-issue gain should shrink.");
+
+    // Cache line size.
+    println!("\n== cache line size (Table 1 fixes 32 bytes) ==");
+    let mut t = TextTable::new(["line bytes", "avg CPI"]);
+    for bytes in [16u32, 32, 64] {
+        let mut cfg = base();
+        cfg.line_bytes = bytes;
+        t.row([cfg.line_bytes.to_string(), cpi(avg(&cfg, &suite))]);
+    }
+    println!("{}", t.render());
+    println!("longer lines amortise the header cycle but raise the fill");
+    println!("occupancy every miss pays.");
+
+    // Stream-buffer depth.
+    println!("\n== stream-buffer depth (lines per buffer) ==");
+    let mut t = TextTable::new(["depth", "avg CPI"]);
+    for depth in [1usize, 2, 4, 8] {
+        let mut cfg = base();
+        cfg.prefetch_depth = depth;
+        t.row([cfg.prefetch_depth.to_string(), cpi(avg(&cfg, &suite))]);
+    }
+    println!("{}", t.render());
+    println!("paper: buffers 'several lines deep' suffice (2.4).");
+
+    // Latency-distribution seed sensitivity.
+    println!("\n== DRAM-spread seed sensitivity (uniform 9..=25) ==");
+    let mut t = TextTable::new(["seed", "avg CPI"]);
+    for seed in [1u64, 7, 42, 1994] {
+        let mut cfg = base();
+        cfg.memory_latency = LatencyModel::Uniform { lo: 9, hi: 25 };
+        cfg.seed = seed;
+        t.row([cfg.seed.to_string(), cpi(avg(&cfg, &suite))]);
+    }
+    println!("{}", t.render());
+    println!("the spread across seeds should be far smaller than any effect");
+    println!("reported above; otherwise the run length is too short.");
 }

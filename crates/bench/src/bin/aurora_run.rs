@@ -102,7 +102,9 @@ fn main() {
         println!("{program}");
     }
 
-    let cfg = opts.model.config(opts.issue, LatencyModel::Fixed(opts.latency));
+    let cfg = opts
+        .model
+        .config(opts.issue, LatencyModel::Fixed(opts.latency));
     let mut sim = Simulator::new(&cfg);
     if opts.timeline {
         sim.enable_issue_log(100_000);

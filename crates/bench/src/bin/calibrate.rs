@@ -12,12 +12,12 @@ fn main() {
     for model in MachineModel::ALL {
         let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         let mut t = TextTable::new([
-            "bench", "CPI", "I$%", "D$%", "Ipf%", "Dpf%", "WC%", "traffic", "fold%",
-            "dual%", "stICa", "stLd", "stRob", "stLsu",
+            "bench", "CPI", "I$%", "D$%", "Ipf%", "Dpf%", "WC%", "traffic", "fold%", "dual%",
+            "stICa", "stLd", "stRob", "stLsu",
         ]);
         for (name, s) in run_suite(&cfg, &suite) {
-            let folds = s.folded_branches as f64
-                / (s.folded_branches + s.unfolded_branches).max(1) as f64;
+            let folds =
+                s.folded_branches as f64 / (s.folded_branches + s.unfolded_branches).max(1) as f64;
             t.row([
                 name.to_string(),
                 cpi(s.cpi()),

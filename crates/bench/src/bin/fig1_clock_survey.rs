@@ -52,7 +52,10 @@ fn main() {
     }
     let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     let growth = slope.exp() - 1.0;
-    println!("fitted fastest-part growth: {:.1}% per year (paper: ~40%)", 100.0 * growth);
+    println!(
+        "fitted fastest-part growth: {:.1}% per year (paper: ~40%)",
+        100.0 * growth
+    );
     let spread: f64 = SURVEY.iter().map(|&(_, lo, hi)| hi / lo).sum::<f64>() / n;
     println!("average fastest/slowest spread: {spread:.1}x (paper: at least 2x, widening)");
 }

@@ -10,9 +10,7 @@ fn main() {
     let scale = scale_from_args();
     let suite = integer_suite(scale);
     for latency in [17u32, 35] {
-        let mut t = TextTable::new([
-            "config", "cost RBE", "min CPI", "avg CPI", "max CPI",
-        ]);
+        let mut t = TextTable::new(["config", "cost RBE", "min CPI", "avg CPI", "max CPI"]);
         let mut gains = Vec::new();
         for model in MachineModel::ALL {
             let mut with = model.config(IssueWidth::Dual, LatencyModel::Fixed(latency));

@@ -8,7 +8,12 @@ use aurora_mem::LatencyModel;
 fn main() {
     let scale = scale_from_args();
     let suite = integer_suite(scale);
-    let kinds = [StallKind::ICache, StallKind::Load, StallKind::RobFull, StallKind::LsuBusy];
+    let kinds = [
+        StallKind::ICache,
+        StallKind::Load,
+        StallKind::RobFull,
+        StallKind::LsuBusy,
+    ];
 
     let mut header = vec!["model".to_string(), "base CPI".to_string()];
     header.extend(kinds.iter().map(|k| k.label().to_string()));

@@ -13,7 +13,9 @@ fn main() {
     // The paper's two curves: the standard configurations, and the "mshr
     // variations" (small 1->2, baseline 2->4, large 4->2).
     println!("Figure 7: standard vs MSHR-variation configurations (scale {scale})");
-    let mut t = TextTable::new(["config", "MSHRs", "cost RBE", "min CPI", "avg CPI", "max CPI"]);
+    let mut t = TextTable::new([
+        "config", "MSHRs", "cost RBE", "min CPI", "avg CPI", "max CPI",
+    ]);
     for model in MachineModel::ALL {
         let standard = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         let mut varied = standard.clone();

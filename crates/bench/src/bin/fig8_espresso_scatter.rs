@@ -31,8 +31,14 @@ fn config(icache_kb: u32, issue: IssueWidth, a: Alloc) -> MachineConfig {
     cfg.prefetch_buffers = a.2.max(1);
     cfg.prefetch_enabled = a.4 && a.2 > 0;
     cfg.mshr_entries = a.3;
-    cfg.name = format!("{icache_kb}K/{issue}/wc{}rob{}pf{}mshr{}{}", a.0, a.1, a.2, a.3,
-        if cfg.prefetch_enabled { "" } else { "-nopf" });
+    cfg.name = format!(
+        "{icache_kb}K/{issue}/wc{}rob{}pf{}mshr{}{}",
+        a.0,
+        a.1,
+        a.2,
+        a.3,
+        if cfg.prefetch_enabled { "" } else { "-nopf" }
+    );
     cfg
 }
 
@@ -59,14 +65,14 @@ fn main() {
     // Diamonds/triangles/circles: dual issue, 1/2/4 KB I-cache, eight
     // memory-element allocations each.
     let allocs = [
-        Alloc(2, 2, 2, 1, true),  // small elements, 1 MSHR -> "A"
+        Alloc(2, 2, 2, 1, true), // small elements, 1 MSHR -> "A"
         Alloc(2, 2, 2, 2, true),
         Alloc(4, 6, 4, 1, true),  // 1 MSHR -> "A"
         Alloc(4, 6, 4, 2, false), // prefetch off -> "C"
         Alloc(4, 6, 4, 2, true),  // prefetch on  -> "D"
         Alloc(4, 6, 4, 4, true),  // recommended elements -> "E" at 4K
         Alloc(8, 8, 8, 2, true),
-        Alloc(8, 8, 8, 4, true),  // full large elements -> "B" at 4K
+        Alloc(8, 8, 8, 4, true), // full large elements -> "B" at 4K
     ];
     for kb in [1u32, 2, 4] {
         let shape = match kb {

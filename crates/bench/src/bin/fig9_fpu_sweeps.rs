@@ -23,15 +23,13 @@ fn row_avg_cpi(row: &[SimStats]) -> f64 {
 /// Average suite CPI for each swept configuration, replayed in parallel
 /// from one set of captured traces.
 fn avg_cpis(configs: &[MachineConfig], suite: &[Workload]) -> Vec<f64> {
-    run_matrix(configs, suite).iter().map(|row| row_avg_cpi(row)).collect()
+    run_matrix(configs, suite)
+        .iter()
+        .map(|row| row_avg_cpi(row))
+        .collect()
 }
 
-fn sweep(
-    title: &str,
-    values: &[u32],
-    suite: &[Workload],
-    apply: impl Fn(&mut MachineConfig, u32),
-) {
+fn sweep(title: &str, values: &[u32], suite: &[Workload], apply: impl Fn(&mut MachineConfig, u32)) {
     let configs: Vec<MachineConfig> = values
         .iter()
         .map(|&v| {

@@ -35,9 +35,8 @@ fn design_space() -> Vec<MachineConfig> {
                             cfg.prefetch_enabled = pf > 0;
                             cfg.prefetch_buffers = pf.max(1);
                             cfg.mshr_entries = mshr;
-                            cfg.name = format!(
-                                "{icache_kb}K/{issue}/wc{wc}/rob{rob}/pf{pf}/mshr{mshr}"
-                            );
+                            cfg.name =
+                                format!("{icache_kb}K/{issue}/wc{wc}/rob{rob}/pf{pf}/mshr{mshr}");
                             out.push(cfg);
                         }
                     }
@@ -71,8 +70,11 @@ fn main() {
     .collect();
 
     let space = design_space();
-    let affordable: Vec<MachineConfig> =
-        space.iter().filter(|c| ipu_cost(c).0 <= budget).cloned().collect();
+    let affordable: Vec<MachineConfig> = space
+        .iter()
+        .filter(|c| ipu_cost(c).0 <= budget)
+        .cloned()
+        .collect();
     println!(
         "design space: {} points, {} within the {budget}-RBE budget; \
          evaluating on {} kernels at scale {scale}...",

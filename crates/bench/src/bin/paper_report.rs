@@ -12,7 +12,7 @@ use std::fs;
 use aurora_bench::harness::{
     cpi_range, fp_suite, integer_suite, run_cached, run_matrix, run_suite, scale_from_args,
 };
-use aurora_core::{FpIssuePolicy, IssueWidth, MachineConfig, MachineModel, StallKind};
+use aurora_core::{FpIssuePolicy, IssueWidth, MachineConfig, MachineModel, SimStats, StallKind};
 use aurora_cost::ipu_cost;
 use aurora_mem::LatencyModel;
 use aurora_workloads::{FpBenchmark, IntBenchmark, Scale, Workload};
@@ -50,6 +50,7 @@ fn main() {
     tab6(&mut md, &fpw);
     fig9(&mut md, &fpw);
     extension_doubleword(&mut md, scale);
+    utilization(&mut md, &int_suite, &fpw);
 
     let _ = writeln!(
         md,
@@ -110,7 +111,12 @@ fn fig4(md: &mut String, suite: &[Workload], scale: Scale) {
             }
         }
     }
-    let avg = |l: u32, n: &str| avgs.iter().find(|(al, an, _)| *al == l && an == n).unwrap().2;
+    let avg = |l: u32, n: &str| {
+        avgs.iter()
+            .find(|(al, an, _)| *al == l && an == n)
+            .unwrap()
+            .2
+    };
     let _ = writeln!(
         md,
         "\n| claim | paper | measured |\n|---|---|---|\n\
@@ -123,26 +129,45 @@ fn fig4(md: &mut String, suite: &[Workload], scale: Scale) {
         100.0 * 8192.0
             / ipu_cost(&MachineModel::Large.config(IssueWidth::Single, LatencyModel::Fixed(17)))
                 .as_f64(),
-        if avg(17, "baseline/single") < avg(17, "small/dual") { "yes" } else { "no" },
+        if avg(17, "baseline/single") < avg(17, "small/dual") {
+            "yes"
+        } else {
+            "no"
+        },
     );
     let _ = scale;
 }
 
 /// Tables 3 and 4: prefetch hit rates.
 fn tab3_tab4(md: &mut String, suite: &[Workload]) {
-    let _ = writeln!(md, "## Tables 3 & 4 — prefetch stream-buffer hit rates (%)\n");
+    let _ = writeln!(
+        md,
+        "## Tables 3 & 4 — prefetch stream-buffer hit rates (%)\n"
+    );
     let names: Vec<&str> = suite.iter().map(Workload::name).collect();
-    for (title, data_stream, paper_avg) in
-        [("Table 3 (I-stream)", false, "58%"), ("Table 4 (D-stream)", true, "~12%")]
-    {
+    for (title, data_stream, paper_avg) in [
+        ("Table 3 (I-stream)", false, "58%"),
+        ("Table 4 (D-stream)", true, "~12%"),
+    ] {
         let _ = writeln!(md, "### {title} — paper average {paper_avg}\n");
-        let _ = writeln!(md, "| model | {} | avg |\n|---|{}---|", names.join(" | "), "---|".repeat(names.len()));
+        let _ = writeln!(
+            md,
+            "| model | {} | avg |\n|---|{}---|",
+            names.join(" | "),
+            "---|".repeat(names.len())
+        );
         for model in MachineModel::ALL {
             let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
             let results = run_suite(&cfg, suite);
             let rates: Vec<f64> = results
                 .iter()
-                .map(|(_, s)| if data_stream { s.dstream.hit_rate() } else { s.istream.hit_rate() })
+                .map(|(_, s)| {
+                    if data_stream {
+                        s.dstream.hit_rate()
+                    } else {
+                        s.istream.hit_rate()
+                    }
+                })
                 .collect();
             let avg: f64 = rates.iter().sum::<f64>() / rates.len() as f64;
             let cells: Vec<String> = rates.iter().map(|&r| pct(r)).collect();
@@ -154,7 +179,10 @@ fn tab3_tab4(md: &mut String, suite: &[Workload]) {
 
 /// Figure 5: prefetch removal.
 fn fig5(md: &mut String, suite: &[Workload]) {
-    let _ = writeln!(md, "## Figure 5 — effect of removing prefetch (dual issue)\n");
+    let _ = writeln!(
+        md,
+        "## Figure 5 — effect of removing prefetch (dual issue)\n"
+    );
     let _ = writeln!(
         md,
         "| latency | model | avg CPI with | avg CPI without | gain | paper gain |\n|---|---|---|---|---|---|"
@@ -188,7 +216,10 @@ fn fig5(md: &mut String, suite: &[Workload]) {
 
 /// Figure 6: stall breakdown.
 fn fig6(md: &mut String, suite: &[Workload]) {
-    let _ = writeln!(md, "## Figure 6 — stall-penalty CPI breakdown (dual, L17)\n");
+    let _ = writeln!(
+        md,
+        "## Figure 6 — stall-penalty CPI breakdown (dual, L17)\n"
+    );
     let _ = writeln!(
         md,
         "| model | ICache | Load | ROB-full | LSU-busy | other | total CPI |\n|---|---|---|---|---|---|---|"
@@ -201,7 +232,8 @@ fn fig6(md: &mut String, suite: &[Workload]) {
             results.iter().map(|(_, s)| s.stall_cpi(kind)).sum::<f64>() / n
         };
         let total: f64 = results.iter().map(|(_, s)| s.cpi()).sum::<f64>() / n;
-        let other = mean(StallKind::FpQueue) + mean(StallKind::FpResult) + mean(StallKind::Interlock);
+        let other =
+            mean(StallKind::FpQueue) + mean(StallKind::FpResult) + mean(StallKind::Interlock);
         let _ = writeln!(
             md,
             "| {model} | {} | {} | {} | {} | {} | {} |",
@@ -243,7 +275,10 @@ fn fig7(md: &mut String, suite: &[Workload]) {
 
 /// Table 5 and the §5.5 write-traffic reduction.
 fn tab5(md: &mut String, suite: &[Workload]) {
-    let _ = writeln!(md, "## Table 5 — write-cache hit rate (%) and §5.5 store traffic\n");
+    let _ = writeln!(
+        md,
+        "## Table 5 — write-cache hit rate (%) and §5.5 store traffic\n"
+    );
     let names: Vec<&str> = suite.iter().map(Workload::name).collect();
     let _ = writeln!(
         md,
@@ -255,10 +290,20 @@ fn tab5(md: &mut String, suite: &[Workload]) {
         let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         let results = run_suite(&cfg, suite);
         let n = results.len() as f64;
-        let cells: Vec<String> =
-            results.iter().map(|(_, s)| pct(s.write_cache.hit_rate())).collect();
-        let avg_hit: f64 = results.iter().map(|(_, s)| s.write_cache.hit_rate()).sum::<f64>() / n;
-        let traffic: f64 = results.iter().map(|(_, s)| s.write_cache.traffic_ratio()).sum::<f64>() / n;
+        let cells: Vec<String> = results
+            .iter()
+            .map(|(_, s)| pct(s.write_cache.hit_rate()))
+            .collect();
+        let avg_hit: f64 = results
+            .iter()
+            .map(|(_, s)| s.write_cache.hit_rate())
+            .sum::<f64>()
+            / n;
+        let traffic: f64 = results
+            .iter()
+            .map(|(_, s)| s.write_cache.traffic_ratio())
+            .sum::<f64>()
+            / n;
         let paper_traffic = match model {
             MachineModel::Small => "44%",
             MachineModel::Baseline => "30%",
@@ -277,7 +322,10 @@ fn tab5(md: &mut String, suite: &[Workload]) {
 
 /// Figure 8: espresso scatter (headline points only in the report).
 fn fig8(md: &mut String, scale: Scale) {
-    let _ = writeln!(md, "## Figure 8 — espresso full cost/performance scatter (L17)\n");
+    let _ = writeln!(
+        md,
+        "## Figure 8 — espresso full cost/performance scatter (L17)\n"
+    );
     let espresso = IntBenchmark::Espresso.workload(scale);
     let point = |name: &str, cfg: &MachineConfig| -> (String, u64, f64) {
         let s = run_cached(cfg, &espresso);
@@ -390,7 +438,10 @@ fn tab6(md: &mut String, suite: &[Workload]) {
 
 /// Figure 9: FPU design-space sweeps.
 fn fig9(md: &mut String, suite: &[Workload]) {
-    let _ = writeln!(md, "## Figure 9 — FPU resource and latency sweeps (avg CPI)\n");
+    let _ = writeln!(
+        md,
+        "## Figure 9 — FPU resource and latency sweeps (avg CPI)\n"
+    );
     let base = || {
         let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         cfg.fpu.issue_policy = FpIssuePolicy::OutOfOrderSingle;
@@ -400,34 +451,67 @@ fn fig9(md: &mut String, suite: &[Workload]) {
         let row = &run_matrix(std::slice::from_ref(cfg), suite)[0];
         row.iter().map(aurora_core::SimStats::cpi).sum::<f64>() / row.len() as f64
     };
-    let mut sweep = |label: &str, values: &[u32], paper: &str, apply: &dyn Fn(&mut MachineConfig, u32)| {
-        let cells: Vec<String> = values
-            .iter()
-            .map(|&v| {
-                let mut cfg = base();
-                apply(&mut cfg, v);
-                format!("{v}: {}", f3(avg(&cfg)))
-            })
-            .collect();
-        let _ = writeln!(md, "* **{label}** — {} — paper: {paper}", cells.join(", "));
-    };
-    sweep("9a instruction queue", &[1, 2, 3, 4, 5], "flat beyond 3 entries", &|c, v| {
-        c.fpu.instr_queue = v as usize;
+    let mut sweep =
+        |label: &str, values: &[u32], paper: &str, apply: &dyn Fn(&mut MachineConfig, u32)| {
+            let cells: Vec<String> = values
+                .iter()
+                .map(|&v| {
+                    let mut cfg = base();
+                    apply(&mut cfg, v);
+                    format!("{v}: {}", f3(avg(&cfg)))
+                })
+                .collect();
+            let _ = writeln!(md, "* **{label}** — {} — paper: {paper}", cells.join(", "));
+        };
+    sweep(
+        "9a instruction queue",
+        &[1, 2, 3, 4, 5],
+        "flat beyond 3 entries",
+        &|c, v| {
+            c.fpu.instr_queue = v as usize;
+        },
+    );
+    sweep(
+        "9b load queue",
+        &[1, 2, 3, 4, 5],
+        "two entries needed",
+        &|c, v| {
+            c.fpu.load_queue = v as usize;
+        },
+    );
+    sweep(
+        "9c reorder buffer",
+        &[3, 5, 7, 9, 11],
+        "insensitive beyond 6",
+        &|c, v| {
+            c.fpu.rob_entries = v as usize;
+        },
+    );
+    sweep("9d add latency", &[1, 2, 3, 4, 5], "~17% swing", &|c, v| {
+        c.fpu.add_latency = v
     });
-    sweep("9b load queue", &[1, 2, 3, 4, 5], "two entries needed", &|c, v| {
-        c.fpu.load_queue = v as usize;
-    });
-    sweep("9c reorder buffer", &[3, 5, 7, 9, 11], "insensitive beyond 6", &|c, v| {
-        c.fpu.rob_entries = v as usize;
-    });
-    sweep("9d add latency", &[1, 2, 3, 4, 5], "~17% swing", &|c, v| c.fpu.add_latency = v);
-    sweep("9e multiply latency", &[1, 2, 3, 4, 5], "~17% swing (4%/cycle)", &|c, v| {
-        c.fpu.mul_latency = v;
-    });
-    sweep("9f divide latency", &[10, 15, 19, 25, 30], "~8% swing", &|c, v| {
-        c.fpu.div_latency = v;
-    });
-    sweep("9g convert latency", &[1, 2, 3, 4, 5], "negligible", &|c, v| c.fpu.cvt_latency = v);
+    sweep(
+        "9e multiply latency",
+        &[1, 2, 3, 4, 5],
+        "~17% swing (4%/cycle)",
+        &|c, v| {
+            c.fpu.mul_latency = v;
+        },
+    );
+    sweep(
+        "9f divide latency",
+        &[10, 15, 19, 25, 30],
+        "~8% swing",
+        &|c, v| {
+            c.fpu.div_latency = v;
+        },
+    );
+    sweep(
+        "9g convert latency",
+        &[1, 2, 3, 4, 5],
+        "negligible",
+        &|c, v| c.fpu.cvt_latency = v,
+    );
 
     // §5.10 pipelining ablation.
     let c0 = avg(&base());
@@ -444,6 +528,56 @@ fn fig9(md: &mut String, suite: &[Workload]) {
     );
 }
 
+/// Appendix: the raw event counters behind the derived rates above —
+/// eviction and MSHR pressure, prefetch traffic, write-cache coalescing,
+/// and BIU bus occupancy. These are the §5 resource-utilisation numbers
+/// the paper's cost/performance arguments lean on.
+fn utilization(md: &mut String, suite: &[Workload], fpw: &[Workload]) {
+    let _ = writeln!(
+        md,
+        "## Appendix — machine utilisation and bus traffic (dual, L17)\n"
+    );
+    let _ = writeln!(
+        md,
+        "| model | I$+D$ evictions | MSHR full-stalls | prefetches issued | \
+         WC stores (hits) | WC loads (hits) | WC store txns | BIU I-fills | \
+         BIU write-backs | rx busy % | tx busy % |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|"
+    );
+    for model in MachineModel::ALL {
+        let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let results = run_suite(&cfg, suite);
+        let sum = |f: &dyn Fn(&SimStats) -> u64| results.iter().map(|(_, s)| f(s)).sum::<u64>();
+        let cycles = sum(&|s| s.cycles).max(1);
+        let _ = writeln!(
+            md,
+            "| {model} | {} | {} | {} | {} ({}) | {} ({}) | {} | {} | {} | {} | {} |",
+            sum(&|s| s.icache.evictions + s.dcache.evictions),
+            sum(&|s| s.mshr.full_stalls),
+            sum(&|s| s.istream.prefetches_issued + s.dstream.prefetches_issued),
+            sum(&|s| s.write_cache.store_accesses),
+            sum(&|s| s.write_cache.store_hits),
+            sum(&|s| s.write_cache.load_accesses),
+            sum(&|s| s.write_cache.load_hits),
+            sum(&|s| s.write_cache.store_transactions),
+            sum(&|s| s.biu.instr_fills),
+            sum(&|s| s.biu.write_backs),
+            pct(sum(&|s| s.biu.receive_busy_cycles) as f64 / cycles as f64),
+            pct(sum(&|s| s.biu.transmit_busy_cycles) as f64 / cycles as f64),
+        );
+    }
+    let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    let results = run_suite(&cfg, fpw);
+    let pairs: u64 = results.iter().map(|(_, s)| s.fp_dual_issues).sum();
+    let fp: u64 = results.iter().map(|(_, s)| s.fp_instructions).sum();
+    let _ = writeln!(
+        md,
+        "\nFPU pair issue (dual policy, FP suite): {pairs} of {fp} FP \
+         instructions issued as the second half of an FPU pair ({}%).\n",
+        pct(pairs as f64 / fp.max(1) as f64)
+    );
+}
+
 /// §5.9 extension: double-word FP loads/stores.
 fn extension_doubleword(md: &mut String, scale: Scale) {
     let _ = writeln!(md, "## §5.9 extension — double-word FP loads/stores\n");
@@ -453,7 +587,10 @@ fn extension_doubleword(md: &mut String, scale: Scale) {
          improvement since \"on average 15% of floating point instructions \
          executed in the SPEC benchmarks are loads\".\n"
     );
-    let _ = writeln!(md, "| benchmark | 2x32-bit CPI | 64-bit CPI | gain |\n|---|---|---|---|");
+    let _ = writeln!(
+        md,
+        "| benchmark | 2x32-bit CPI | 64-bit CPI | gain |\n|---|---|---|---|"
+    );
     let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
     let mut total_gain = 0.0;
     for b in FpBenchmark::ALL {

@@ -102,9 +102,11 @@ fn main() {
         suite.len()
     );
 
-    let replayed_instructions: u64 =
-        grid.iter().flatten().map(|s| s.instructions).sum();
-    assert_eq!(replayed_instructions, streamed_instructions, "paths must simulate the same work");
+    let replayed_instructions: u64 = grid.iter().flatten().map(|s| s.instructions).sum();
+    assert_eq!(
+        replayed_instructions, streamed_instructions,
+        "paths must simulate the same work"
+    );
 
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let speedup = stream_s / replay_s;
@@ -113,7 +115,11 @@ fn main() {
     println!("streamed: {stream_s:.3} s  ({stream_ips:.0} instr/s)");
     println!("capture:  {capture_s:.3} s  (once per workload, amortised across sweeps)");
     println!("replay:   {replay_s:.3} s  ({replay_ips:.0} instr/s, best of 5)");
-    println!("speedup:  {speedup:.2}x on {threads} core(s)  (captures: {}, disk hits: {})", store.captures(), store.disk_hits());
+    println!(
+        "speedup:  {speedup:.2}x on {threads} core(s)  (captures: {}, disk hits: {})",
+        store.captures(),
+        store.disk_hits()
+    );
     if threads == 1 {
         // Streamed cost per cell is emulate+simulate; replay drops the
         // emulate term but the pool cannot overlap cells, so the
@@ -141,8 +147,7 @@ fn main() {
     let _ = writeln!(sim_json, "  \"config\": \"baseline/dual-issue\",");
     let mut mode_results = Vec::new();
     for cycle_skip in [true, false] {
-        let mut cfg =
-            MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         cfg.cycle_skip = cycle_skip;
         let mut secs = f64::INFINITY;
         let mut stats = Vec::new();
@@ -158,7 +163,10 @@ fn main() {
         mode_results.push((label, secs, ips, stats));
     }
     let (skip_stats, naive_stats) = (&mode_results[0].3, &mode_results[1].3);
-    assert_eq!(skip_stats, naive_stats, "cycle-skip stats diverged from naive");
+    assert_eq!(
+        skip_stats, naive_stats,
+        "cycle-skip stats diverged from naive"
+    );
     let sim_speedup = mode_results[0].2 / mode_results[1].2;
     println!("sim/skip-vs-naive: {sim_speedup:.2}x, stats bit-identical");
     let _ = writeln!(
@@ -189,7 +197,10 @@ fn main() {
     let _ = writeln!(json, "  \"parallelism\": {threads},");
     let _ = writeln!(json, "  \"captures\": {},", store.captures());
     let _ = writeln!(json, "  \"disk_hits\": {},", store.disk_hits());
-    let _ = writeln!(json, "  \"instructions_per_path\": {streamed_instructions},");
+    let _ = writeln!(
+        json,
+        "  \"instructions_per_path\": {streamed_instructions},"
+    );
     let _ = writeln!(json, "  \"streamed_instr_per_sec\": {stream_ips:.0},");
     let _ = writeln!(json, "  \"replay_instr_per_sec\": {replay_ips:.0}");
     json.push_str("}\n");

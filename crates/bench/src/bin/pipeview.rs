@@ -50,10 +50,14 @@ fn main() {
     let mut sim = Simulator::new(&cfg);
     sim.enable_issue_log(4096);
     let mut emu = Emulator::new(&program);
-    emu.run_traced(100_000, |op| sim.feed(op)).expect("demo runs");
+    emu.run_traced(100_000, |op| sim.feed(op))
+        .expect("demo runs");
 
     println!("pipeline timeline on the {model} model (dual issue, L17):\n");
-    println!("{:>7}  {:<10} {:<22} {:<6} stall", "cycle", "pc", "op", "pair");
+    println!(
+        "{:>7}  {:<10} {:<22} {:<6} stall",
+        "cycle", "pc", "op", "pair"
+    );
     let records: Vec<_> = sim.issue_log().copied().collect();
     for (shown, r) in records.iter().enumerate() {
         if shown >= 60 {

@@ -29,15 +29,30 @@ fn main() {
 
     println!("Table 2: processor element costs in RBE units");
     let mut t2 = TextTable::new(["element", "RBE"]);
-    t2.row(["1 KB I-cache block".to_string(), icache_cost(1024).to_string()]);
-    t2.row(["2 KB I-cache block".to_string(), icache_cost(2048).to_string()]);
-    t2.row(["4 KB I-cache block".to_string(), icache_cost(4096).to_string()]);
+    t2.row([
+        "1 KB I-cache block".to_string(),
+        icache_cost(1024).to_string(),
+    ]);
+    t2.row([
+        "2 KB I-cache block".to_string(),
+        icache_cost(2048).to_string(),
+    ]);
+    t2.row([
+        "4 KB I-cache block".to_string(),
+        icache_cost(4096).to_string(),
+    ]);
     t2.row(["write-cache line".to_string(), WRITE_CACHE_LINE.to_string()]);
     t2.row(["prefetch line".to_string(), PREFETCH_LINE.to_string()]);
     t2.row(["reorder-buffer entry".to_string(), ROB_ENTRY.to_string()]);
     t2.row(["MSHR entry".to_string(), MSHR_ENTRY.to_string()]);
-    t2.row(["integer execution pipeline".to_string(), INTEGER_PIPELINE.to_string()]);
-    t2.row(["FPU add unit (1..5 cyc)".to_string(), format!("{}..{}", add_unit_cost(1), add_unit_cost(5))]);
+    t2.row([
+        "integer execution pipeline".to_string(),
+        INTEGER_PIPELINE.to_string(),
+    ]);
+    t2.row([
+        "FPU add unit (1..5 cyc)".to_string(),
+        format!("{}..{}", add_unit_cost(1), add_unit_cost(5)),
+    ]);
     t2.row([
         "FPU multiply unit (1..5 cyc)".to_string(),
         format!("{}..{}", multiply_unit_cost(1), multiply_unit_cost(5)),

@@ -61,6 +61,11 @@ fn replay(path: &str) {
             sim.feed(op.expect("valid record"));
         }
         let stats = sim.finish();
-        println!("{:<10} {:>12} {:>8.3}", model.to_string(), stats.cycles, stats.cpi());
+        println!(
+            "{:<10} {:>12} {:>8.3}",
+            model.to_string(),
+            stats.cycles,
+            stats.cpi()
+        );
     }
 }

@@ -35,7 +35,15 @@ fn profile(t: &mut TextTable, w: &Workload) {
 fn main() {
     let scale = scale_from_args();
     let mut t = TextTable::new([
-        "kernel", "dyn instrs", "code B", "data KB", "mem%", "store%", "br%", "taken%", "fp%",
+        "kernel",
+        "dyn instrs",
+        "code B",
+        "data KB",
+        "mem%",
+        "store%",
+        "br%",
+        "taken%",
+        "fp%",
     ]);
     for b in IntBenchmark::ALL {
         profile(&mut t, &b.workload(scale));

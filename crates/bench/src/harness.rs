@@ -70,9 +70,14 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
     }
     // Phase 1: capture each workload's trace, one thread per workload.
     let traces: Vec<Arc<PackedTrace>> = std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            workloads.iter().map(|w| scope.spawn(move || capture(w))).collect();
-        handles.into_iter().map(|h| h.join().expect("capture thread")).collect()
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| scope.spawn(move || capture(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("capture thread"))
+            .collect()
     });
     // Phase 2: drain the replay grid with work stealing — replay times
     // vary wildly across (config, workload) cells, so static chunking
@@ -80,7 +85,9 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
     let cells = configs.len() * workloads.len();
     let results: Vec<OnceLock<SimStats>> = (0..cells).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(cells);
+    let threads = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(cells);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -117,11 +124,10 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
 /// Runs a benchmark list against one config via [`run_matrix`] (captured
 /// traces are shared with any other sweep in the process), returning
 /// `(name, stats)` in workload order.
-pub fn run_suite<'w>(
-    cfg: &MachineConfig,
-    workloads: &'w [Workload],
-) -> Vec<(&'w str, SimStats)> {
-    let row = run_matrix(std::slice::from_ref(cfg), workloads).pop().expect("one row");
+pub fn run_suite<'w>(cfg: &MachineConfig, workloads: &'w [Workload]) -> Vec<(&'w str, SimStats)> {
+    let row = run_matrix(std::slice::from_ref(cfg), workloads)
+        .pop()
+        .expect("one row");
     workloads.iter().map(Workload::name).zip(row).collect()
 }
 
@@ -172,7 +178,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).

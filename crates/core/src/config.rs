@@ -47,7 +47,11 @@ pub enum MachineModel {
 
 impl MachineModel {
     /// All three models in Table 1 order.
-    pub const ALL: [MachineModel; 3] = [MachineModel::Small, MachineModel::Baseline, MachineModel::Large];
+    pub const ALL: [MachineModel; 3] = [
+        MachineModel::Small,
+        MachineModel::Baseline,
+        MachineModel::Large,
+    ];
 
     /// The model's row of Table 1 as a full machine configuration.
     pub fn config(self, issue: IssueWidth, latency: LatencyModel) -> MachineConfig {
@@ -282,7 +286,11 @@ impl fmt::Display for MachineConfig {
             self.rob_entries,
             self.prefetch_buffers,
             self.prefetch_depth,
-            if self.prefetch_enabled { "" } else { " (disabled)" },
+            if self.prefetch_enabled {
+                ""
+            } else {
+                " (disabled)"
+            },
             self.mshr_entries,
             self.memory_latency.mean(),
         )

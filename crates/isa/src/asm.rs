@@ -63,13 +63,21 @@ enum Seg {
 /// A parsed source statement awaiting encoding.
 #[derive(Debug, Clone)]
 enum Stmt {
-    Instr { line: usize, addr: u32, mnemonic: String, operands: Vec<String> },
+    Instr {
+        line: usize,
+        addr: u32,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
 }
 
 impl Assembler {
     /// Creates an assembler with the default segment bases.
     pub fn new() -> Assembler {
-        Assembler { text_base: TEXT_BASE, data_base: DATA_BASE }
+        Assembler {
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+        }
     }
 
     /// Overrides the text segment base address (must be word-aligned).
@@ -132,15 +140,32 @@ impl Assembler {
             }
             let (mnemonic, ops) = split_instr(rest);
             let words = pseudo_len(&mnemonic, &ops);
-            stmts.push(Stmt::Instr { line, addr: text_addr, mnemonic, operands: ops });
+            stmts.push(Stmt::Instr {
+                line,
+                addr: text_addr,
+                mnemonic,
+                operands: ops,
+            });
             text_addr += 4 * words;
         }
 
         // Pass 2: encode.
         let mut instructions = Vec::new();
         for stmt in &stmts {
-            let Stmt::Instr { line, addr, mnemonic, operands } = stmt;
-            self.encode(*line, *addr, mnemonic, operands, &symbols, &mut instructions)?;
+            let Stmt::Instr {
+                line,
+                addr,
+                mnemonic,
+                operands,
+            } = stmt;
+            self.encode(
+                *line,
+                *addr,
+                mnemonic,
+                operands,
+                &symbols,
+                &mut instructions,
+            )?;
         }
 
         if instructions.is_empty() {
@@ -149,7 +174,10 @@ impl Assembler {
         Ok(Program::new(
             self.text_base,
             instructions,
-            Segment { base: self.data_base, bytes: data },
+            Segment {
+                base: self.data_base,
+                bytes: data,
+            },
             self.text_base,
             symbols,
         ))
@@ -255,7 +283,10 @@ impl Assembler {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
             }
         };
         let label = |s: &str| {
@@ -267,7 +298,10 @@ impl Assembler {
         let branch_off = |target: u32, at: u32| -> Result<i16, AsmError> {
             let delta = (target as i64 - (at as i64 + 4)) / 4;
             if !(-32768..=32767).contains(&delta) {
-                return Err(err(line, format!("branch target out of range ({delta} words)")));
+                return Err(err(
+                    line,
+                    format!("branch target out of range ({delta} words)"),
+                ));
             }
             Ok(delta as i16)
         };
@@ -278,7 +312,8 @@ impl Assembler {
                 need(2)?;
                 let rt = reg(&ops[0])?;
                 let v = parse_imm::<i64>(&ops[1])
-                    .ok_or_else(|| err(line, format!("bad immediate `{}`", ops[1])))? as i32;
+                    .ok_or_else(|| err(line, format!("bad immediate `{}`", ops[1])))?
+                    as i32;
                 emit_li(rt, v, out);
                 return Ok(());
             }
@@ -287,25 +322,44 @@ impl Assembler {
                 let rt = reg(&ops[0])?;
                 let a = label(&ops[1])?;
                 out.push(Instruction::lui(Reg::AT, (a >> 16) as i16));
-                out.push(Instruction::alu_i(Opcode::Ori, rt, Reg::AT, a as u16 as i16));
+                out.push(Instruction::alu_i(
+                    Opcode::Ori,
+                    rt,
+                    Reg::AT,
+                    a as u16 as i16,
+                ));
                 return Ok(());
             }
             "move" => {
                 need(2)?;
-                out.push(Instruction::alu_r(Opcode::Addu, reg(&ops[0])?, reg(&ops[1])?, Reg::ZERO));
+                out.push(Instruction::alu_r(
+                    Opcode::Addu,
+                    reg(&ops[0])?,
+                    reg(&ops[1])?,
+                    Reg::ZERO,
+                ));
                 return Ok(());
             }
             "b" => {
                 need(1)?;
                 let off = branch_off(label(&ops[0])?, addr)?;
-                out.push(Instruction::branch_cmp(Opcode::Beq, Reg::ZERO, Reg::ZERO, off));
+                out.push(Instruction::branch_cmp(
+                    Opcode::Beq,
+                    Reg::ZERO,
+                    Reg::ZERO,
+                    off,
+                ));
                 return Ok(());
             }
             "beqz" | "bnez" => {
                 need(2)?;
                 let rs = reg(&ops[0])?;
                 let off = branch_off(label(&ops[1])?, addr)?;
-                let op = if mnemonic == "beqz" { Opcode::Beq } else { Opcode::Bne };
+                let op = if mnemonic == "beqz" {
+                    Opcode::Beq
+                } else {
+                    Opcode::Bne
+                };
                 out.push(Instruction::branch_cmp(op, rs, Reg::ZERO, off));
                 return Ok(());
             }
@@ -323,7 +377,11 @@ impl Assembler {
                 };
                 out.push(Instruction::alu_r(Opcode::Slt, Reg::AT, a, b));
                 let off = branch_off(label(&ops[2])?, addr + 4)?;
-                let op = if branch_if_set { Opcode::Bne } else { Opcode::Beq };
+                let op = if branch_if_set {
+                    Opcode::Bne
+                } else {
+                    Opcode::Beq
+                };
                 out.push(Instruction::branch_cmp(op, Reg::AT, Reg::ZERO, off));
                 return Ok(());
             }
@@ -368,16 +426,14 @@ impl Assembler {
             }
             Load | Store => {
                 need(2)?;
-                let (off, base) = parse_mem(&ops[1]).ok_or_else(|| {
-                    err(line, format!("bad memory operand `{}`", ops[1]))
-                })?;
+                let (off, base) = parse_mem(&ops[1])
+                    .ok_or_else(|| err(line, format!("bad memory operand `{}`", ops[1])))?;
                 Instruction::mem(op, reg(&ops[0])?, reg(&base)?, off)
             }
             FpLoad | FpStore => {
                 need(2)?;
-                let (off, base) = parse_mem(&ops[1]).ok_or_else(|| {
-                    err(line, format!("bad memory operand `{}`", ops[1]))
-                })?;
+                let (off, base) = parse_mem(&ops[1])
+                    .ok_or_else(|| err(line, format!("bad memory operand `{}`", ops[1])))?;
                 Instruction::fp_mem(op, freg(&ops[0])?, reg(&base)?, off)
             }
             Jump => {
@@ -411,7 +467,12 @@ impl Assembler {
             FpArith3 => match op {
                 Opcode::SqrtS | Opcode::SqrtD => {
                     need(2)?;
-                    Instruction::fp_arith3(op, freg(&ops[0])?, freg(&ops[1])?, FReg::new(0).unwrap())
+                    Instruction::fp_arith3(
+                        op,
+                        freg(&ops[0])?,
+                        freg(&ops[1])?,
+                        FReg::new(0).unwrap(),
+                    )
                 }
                 _ => {
                     need(3)?;
@@ -628,14 +689,20 @@ mod tests {
 
     #[test]
     fn errors_name_the_line() {
-        let e = Assembler::new().assemble(".text\n bogus $t0\n").unwrap_err();
+        let e = Assembler::new()
+            .assemble(".text\n bogus $t0\n")
+            .unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("bogus"));
 
-        let e = Assembler::new().assemble(".text\n lw $t0, 4($nope)\n").unwrap_err();
+        let e = Assembler::new()
+            .assemble(".text\n lw $t0, 4($nope)\n")
+            .unwrap_err();
         assert!(e.message.contains("nope"));
 
-        let e = Assembler::new().assemble(".text\n j nowhere\n").unwrap_err();
+        let e = Assembler::new()
+            .assemble(".text\n j nowhere\n")
+            .unwrap_err();
         assert!(e.message.contains("undefined label"));
 
         let e = Assembler::new()
@@ -651,8 +718,7 @@ mod tests {
 
     #[test]
     fn hex_immediates_and_negative_offsets() {
-        let p = asm(
-            ".data
+        let p = asm(".data
 buf: .space 64
 .text
  la $s0, buf
@@ -662,8 +728,7 @@ buf: .space 64
  andi $t2, $t1, 0x0F
               sw $t0, -32($s0)
  break
-",
-        );
+");
         let lw = p.instructions()[3];
         assert_eq!(lw.op, Opcode::Lw);
         assert_eq!(lw.imm, -4);
@@ -697,16 +762,22 @@ d: break
     #[test]
     fn branch_out_of_range_rejected() {
         // A forward branch beyond +-32767 words must error, not wrap.
-        let mut src = String::from(".text
+        let mut src = String::from(
+            ".text
  beq $zero, $zero, far
  nop
-");
+",
+        );
         for _ in 0..40_000 {
-            src.push_str(" nop
-");
+            src.push_str(
+                " nop
+",
+            );
         }
-        src.push_str("far: break
-");
+        src.push_str(
+            "far: break
+",
+        );
         let err = Assembler::new().assemble(&src).unwrap_err();
         assert!(err.message.contains("out of range"), "{err}");
     }
@@ -718,7 +789,11 @@ d: break
  lw $t1, ($t0)
  break
 ");
-        let lw = p.instructions().iter().find(|i| i.op == Opcode::Lw).unwrap();
+        let lw = p
+            .instructions()
+            .iter()
+            .find(|i| i.op == Opcode::Lw)
+            .unwrap();
         assert_eq!(lw.imm, 0);
     }
 
@@ -727,12 +802,14 @@ d: break
         let p = Assembler::new()
             .text_base(0x0010_0000)
             .data_base(0x2000_0000)
-            .assemble(".data
+            .assemble(
+                ".data
 x: .word 1
 .text
  nop
  break
-")
+",
+            )
             .unwrap();
         assert_eq!(p.text_base(), 0x0010_0000);
         assert_eq!(p.data().base, 0x2000_0000);

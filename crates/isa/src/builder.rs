@@ -83,7 +83,8 @@ impl ProgramBuilder {
     /// Appends a compare branch to `label` (offset patched at build time).
     pub fn branch(&mut self, op: Opcode, rs: Reg, rt: Reg, label: Label) -> &mut ProgramBuilder {
         self.branch_fixups.push((self.instructions.len(), label));
-        self.instructions.push(Instruction::branch_cmp(op, rs, rt, 0));
+        self.instructions
+            .push(Instruction::branch_cmp(op, rs, rt, 0));
         self
     }
 
@@ -104,7 +105,12 @@ impl ProgramBuilder {
     /// Appends `li rt, value` (one or two instructions).
     pub fn load_imm(&mut self, rt: Reg, value: i32) -> &mut ProgramBuilder {
         if (-32768..=32767).contains(&value) {
-            self.push(Instruction::alu_i(Opcode::Addiu, rt, Reg::ZERO, value as i16));
+            self.push(Instruction::alu_i(
+                Opcode::Addiu,
+                rt,
+                Reg::ZERO,
+                value as i16,
+            ));
         } else {
             self.push(Instruction::lui(rt, (value >> 16) as i16));
             if value as u32 & 0xFFFF != 0 {
@@ -118,7 +124,12 @@ impl ProgramBuilder {
     /// for a data offset previously returned by [`ProgramBuilder::data`].
     pub fn load_data_addr(&mut self, rt: Reg, data_addr: u32) -> &mut ProgramBuilder {
         self.push(Instruction::lui(Reg::AT, (data_addr >> 16) as i16));
-        self.push(Instruction::alu_i(Opcode::Ori, rt, Reg::AT, data_addr as u16 as i16))
+        self.push(Instruction::alu_i(
+            Opcode::Ori,
+            rt,
+            Reg::AT,
+            data_addr as u16 as i16,
+        ))
     }
 
     /// Appends raw bytes to the data segment, returning their address.
@@ -192,7 +203,10 @@ impl ProgramBuilder {
         Program::new(
             TEXT_BASE,
             self.instructions,
-            Segment { base: DATA_BASE, bytes: self.data },
+            Segment {
+                base: DATA_BASE,
+                bytes: self.data,
+            },
             TEXT_BASE,
             self.symbols,
         )

@@ -14,12 +14,31 @@
 //! serialised to disk and a trace packed in memory can never disagree
 //! about what a byte means; the disk format is simply the packed record
 //! plus a header and reserved padding.
+//!
+//! # Changing the format
+//!
+//! Captured traces outlive the code that wrote them, so the layout is
+//! guarded by `aurora-lint`'s L005 rule: the `PackedOp` field list and
+//! every numeric constant in this file are hashed into a structural
+//! fingerprint recorded at `crates/isa/trace_format.fp`. Any change to
+//! the record layout, the kind tags, or the register codes must
+//!
+//! 1. bump [`TRACE_FORMAT_VERSION`], and
+//! 2. re-record the fingerprint:
+//!    `cargo run -q -p aurora-lint -- --fingerprint > crates/isa/trace_format.fp`.
+//!
+//! A layout change without the version bump fails the build (see
+//! `docs/LINTS.md`).
 
 use crate::trace::{ArchReg, MemWidth, OpKind};
 
 /// Bumped whenever the record field encoding changes; embedded in the
 /// file header and in on-disk cache names so stale artefacts are never
 /// misread.
+///
+/// Paired with the structural fingerprint in `crates/isa/trace_format.fp`
+/// (maintained by `aurora-lint -- --fingerprint`): bumping one without
+/// the other is a build failure. See the module docs for the workflow.
 pub const TRACE_FORMAT_VERSION: u32 = 1;
 
 // Kind tags.
@@ -77,14 +96,38 @@ pub(crate) fn unpack_kind(tag: u8, aux: u8, payload: u32) -> Result<OpKind, Stri
         K_INT_ALU => OpKind::IntAlu,
         K_INT_MUL => OpKind::IntMul,
         K_INT_DIV => OpKind::IntDiv,
-        K_LOAD => OpKind::Load { ea: payload, width: decode_width(aux)? },
-        K_STORE => OpKind::Store { ea: payload, width: decode_width(aux)? },
-        K_FP_LOAD => OpKind::FpLoad { ea: payload, width: decode_width(aux)? },
-        K_FP_STORE => OpKind::FpStore { ea: payload, width: decode_width(aux)? },
-        K_BRANCH => OpKind::Branch { taken: false, target: payload },
-        K_BRANCH_TAKEN => OpKind::Branch { taken: true, target: payload },
-        K_JUMP => OpKind::Jump { target: payload, register: false },
-        K_JUMP_REG => OpKind::Jump { target: payload, register: true },
+        K_LOAD => OpKind::Load {
+            ea: payload,
+            width: decode_width(aux)?,
+        },
+        K_STORE => OpKind::Store {
+            ea: payload,
+            width: decode_width(aux)?,
+        },
+        K_FP_LOAD => OpKind::FpLoad {
+            ea: payload,
+            width: decode_width(aux)?,
+        },
+        K_FP_STORE => OpKind::FpStore {
+            ea: payload,
+            width: decode_width(aux)?,
+        },
+        K_BRANCH => OpKind::Branch {
+            taken: false,
+            target: payload,
+        },
+        K_BRANCH_TAKEN => OpKind::Branch {
+            taken: true,
+            target: payload,
+        },
+        K_JUMP => OpKind::Jump {
+            target: payload,
+            register: false,
+        },
+        K_JUMP_REG => OpKind::Jump {
+            target: payload,
+            register: true,
+        },
         K_FP_ADD => OpKind::FpAdd,
         K_FP_MUL => OpKind::FpMul,
         K_FP_DIV => OpKind::FpDiv,
@@ -148,14 +191,38 @@ mod tests {
         OpKind::IntAlu,
         OpKind::IntMul,
         OpKind::IntDiv,
-        OpKind::Load { ea: 0x1000, width: MemWidth::Word },
-        OpKind::Store { ea: 0x1004, width: MemWidth::Byte },
-        OpKind::FpLoad { ea: 0x1008, width: MemWidth::Double },
-        OpKind::FpStore { ea: 0x1010, width: MemWidth::Half },
-        OpKind::Branch { taken: false, target: 0x400 },
-        OpKind::Branch { taken: true, target: 0x404 },
-        OpKind::Jump { target: 0x408, register: false },
-        OpKind::Jump { target: 0x40c, register: true },
+        OpKind::Load {
+            ea: 0x1000,
+            width: MemWidth::Word,
+        },
+        OpKind::Store {
+            ea: 0x1004,
+            width: MemWidth::Byte,
+        },
+        OpKind::FpLoad {
+            ea: 0x1008,
+            width: MemWidth::Double,
+        },
+        OpKind::FpStore {
+            ea: 0x1010,
+            width: MemWidth::Half,
+        },
+        OpKind::Branch {
+            taken: false,
+            target: 0x400,
+        },
+        OpKind::Branch {
+            taken: true,
+            target: 0x404,
+        },
+        OpKind::Jump {
+            target: 0x408,
+            register: false,
+        },
+        OpKind::Jump {
+            target: 0x40c,
+            register: true,
+        },
         OpKind::FpAdd,
         OpKind::FpMul,
         OpKind::FpDiv,

@@ -107,7 +107,10 @@ impl fmt::Display for EmuError {
         match self {
             EmuError::BadPc { pc } => write!(f, "program counter {pc:#010x} outside text"),
             EmuError::Unaligned { pc, ea, width } => {
-                write!(f, "unaligned {width}-byte access to {ea:#010x} at pc {pc:#010x}")
+                write!(
+                    f,
+                    "unaligned {width}-byte access to {ea:#010x} at pc {pc:#010x}"
+                )
             }
             EmuError::BranchInDelaySlot { pc } => {
                 write!(f, "control-flow instruction in delay slot at {pc:#010x}")
@@ -271,7 +274,11 @@ impl<'p> Emulator<'p> {
             let op = self.step()?;
             sink(op);
         }
-        Ok(if self.halted { RunOutcome::Halted } else { RunOutcome::LimitReached })
+        Ok(if self.halted {
+            RunOutcome::Halted
+        } else {
+            RunOutcome::LimitReached
+        })
     }
 
     /// Collects the whole trace into a vector (convenience for tests and
@@ -422,7 +429,8 @@ impl<'p> Emulator<'p> {
             Sh => {
                 let ea = self.effective_address(&instr);
                 self.check_aligned(pc, ea, &instr)?;
-                self.mem.write(ea, &(r(self, instr.rt) as u16).to_le_bytes());
+                self.mem
+                    .write(ea, &(r(self, instr.rt) as u16).to_le_bytes());
             }
             Sw => {
                 let ea = self.effective_address(&instr);
@@ -437,7 +445,8 @@ impl<'p> Emulator<'p> {
             Swc1 => {
                 let ea = self.effective_address(&instr);
                 self.check_aligned(pc, ea, &instr)?;
-                self.mem.write_u32(ea, self.fregs[instr.ft.number() as usize]);
+                self.mem
+                    .write_u32(ea, self.fregs[instr.ft.number() as usize]);
             }
             Ldc1 => {
                 let ea = self.effective_address(&instr);
@@ -460,13 +469,19 @@ impl<'p> Emulator<'p> {
             }
             Jr => {
                 let t = r(self, instr.rs);
-                op.kind = OpKind::Jump { target: t, register: true };
+                op.kind = OpKind::Jump {
+                    target: t,
+                    register: true,
+                };
                 target_after_delay = Some(t);
             }
             Jalr => {
                 let t = r(self, instr.rs);
                 self.set_reg(instr.rd, pc.wrapping_add(8));
-                op.kind = OpKind::Jump { target: t, register: true };
+                op.kind = OpKind::Jump {
+                    target: t,
+                    register: true,
+                };
                 target_after_delay = Some(t);
             }
             Beq | Bne | Blez | Bgtz | Bltz | Bgez | Bc1t | Bc1f => {
@@ -646,13 +661,41 @@ fn make_trace_op(pc: u32, instr: &Instruction) -> TraceOp {
         },
         AluI => (OpKind::IntAlu, int(instr.rt), int(instr.rs), None),
         Lui => (OpKind::IntAlu, int(instr.rt), None, None),
-        Load => (OpKind::Load { ea: 0, width: w() }, int(instr.rt), int(instr.rs), None),
-        Store => (OpKind::Store { ea: 0, width: w() }, None, int(instr.rs), int(instr.rt)),
-        FpLoad => (OpKind::FpLoad { ea: 0, width: w() }, fp(instr.ft), int(instr.rs), None),
-        FpStore => (OpKind::FpStore { ea: 0, width: w() }, None, int(instr.rs), fp(instr.ft)),
+        Load => (
+            OpKind::Load { ea: 0, width: w() },
+            int(instr.rt),
+            int(instr.rs),
+            None,
+        ),
+        Store => (
+            OpKind::Store { ea: 0, width: w() },
+            None,
+            int(instr.rs),
+            int(instr.rt),
+        ),
+        FpLoad => (
+            OpKind::FpLoad { ea: 0, width: w() },
+            fp(instr.ft),
+            int(instr.rs),
+            None,
+        ),
+        FpStore => (
+            OpKind::FpStore { ea: 0, width: w() },
+            None,
+            int(instr.rs),
+            fp(instr.ft),
+        ),
         Jump => {
             let dst = (instr.op == Opcode::Jal).then_some(ArchReg::Int(Reg::RA.number()));
-            (OpKind::Jump { target: instr.target << 2, register: false }, dst, None, None)
+            (
+                OpKind::Jump {
+                    target: instr.target << 2,
+                    register: false,
+                },
+                dst,
+                None,
+                None,
+            )
         }
         JumpReg => {
             // The dynamic target is patched by the emulator only for the
@@ -662,16 +705,43 @@ fn make_trace_op(pc: u32, instr: &Instruction) -> TraceOp {
             // unpredictable jump; record target 0 here (folding still
             // applies once the pair is cached).
             let dst = (instr.op == Opcode::Jalr).then(|| ArchReg::Int(instr.rd.number()));
-            (OpKind::Jump { target: 0, register: true }, dst, int(instr.rs), None)
+            (
+                OpKind::Jump {
+                    target: 0,
+                    register: true,
+                },
+                dst,
+                int(instr.rs),
+                None,
+            )
         }
         BranchCmp => (
-            OpKind::Branch { taken: false, target: 0 },
+            OpKind::Branch {
+                taken: false,
+                target: 0,
+            },
             None,
             int(instr.rs),
             int(instr.rt),
         ),
-        BranchZ => (OpKind::Branch { taken: false, target: 0 }, None, int(instr.rs), None),
-        BranchFp => (OpKind::Branch { taken: false, target: 0 }, None, Some(ArchReg::FpCond), None),
+        BranchZ => (
+            OpKind::Branch {
+                taken: false,
+                target: 0,
+            },
+            None,
+            int(instr.rs),
+            None,
+        ),
+        BranchFp => (
+            OpKind::Branch {
+                taken: false,
+                target: 0,
+            },
+            None,
+            Some(ArchReg::FpCond),
+            None,
+        ),
         FpArith3 => {
             let kind = match instr.op {
                 Opcode::AddS | Opcode::AddD | Opcode::SubS | Opcode::SubD => OpKind::FpAdd,
@@ -687,20 +757,35 @@ fn make_trace_op(pc: u32, instr: &Instruction) -> TraceOp {
         }
         FpArith2 => {
             let kind = match instr.op {
-                Opcode::AbsS | Opcode::AbsD | Opcode::NegS | Opcode::NegD | Opcode::MovS
+                Opcode::AbsS
+                | Opcode::AbsD
+                | Opcode::NegS
+                | Opcode::NegD
+                | Opcode::MovS
                 | Opcode::MovD => OpKind::FpMove,
                 _ => OpKind::FpCvt,
             };
             (kind, fp(instr.fd), fp(instr.fs), None)
         }
-        FpCompare => (OpKind::FpCmp, Some(ArchReg::FpCond), fp(instr.fs), fp(instr.ft)),
+        FpCompare => (
+            OpKind::FpCmp,
+            Some(ArchReg::FpCond),
+            fp(instr.fs),
+            fp(instr.ft),
+        ),
         FpMove => match instr.op {
             Opcode::Mfc1 => (OpKind::FpMove, int(instr.rt), fp(instr.fs), None),
             _ => (OpKind::FpMove, fp(instr.fs), int(instr.rt), None),
         },
         System => (OpKind::Nop, None, None, None),
     };
-    TraceOp { pc, kind, dst, src1, src2 }
+    TraceOp {
+        pc,
+        kind,
+        dst,
+        src1,
+        src2,
+    }
 }
 
 #[cfg(test)]
@@ -911,12 +996,13 @@ mod tests {
     #[test]
     fn branch_in_delay_slot_rejected() {
         let program = Assembler::new()
-            .assemble(
-                ".text\n beq $zero, $zero, t\n beq $zero, $zero, t\nt: break\n",
-            )
+            .assemble(".text\n beq $zero, $zero, t\n beq $zero, $zero, t\nt: break\n")
             .unwrap();
         let mut emu = Emulator::new(&program);
-        assert!(matches!(emu.run(10), Err(EmuError::BranchInDelaySlot { .. })));
+        assert!(matches!(
+            emu.run(10),
+            Err(EmuError::BranchInDelaySlot { .. })
+        ));
     }
 
     #[test]

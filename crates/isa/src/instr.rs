@@ -76,90 +76,171 @@ impl Instruction {
     /// Three-register ALU instruction, e.g. `addu $rd, $rs, $rt`.
     pub fn alu_r(op: Opcode, rd: Reg, rs: Reg, rt: Reg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::AluR);
-        Instruction { op, rd, rs, rt, ..Default::default() }
+        Instruction {
+            op,
+            rd,
+            rs,
+            rt,
+            ..Default::default()
+        }
     }
 
     /// Immediate shift, e.g. `sll $rd, $rt, shamt`.
     pub fn shift(op: Opcode, rd: Reg, rt: Reg, shamt: u8) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::Shift);
         debug_assert!(shamt < 32);
-        Instruction { op, rd, rt, shamt, ..Default::default() }
+        Instruction {
+            op,
+            rd,
+            rt,
+            shamt,
+            ..Default::default()
+        }
     }
 
     /// Variable shift, e.g. `sllv $rd, $rt, $rs`.
     pub fn shift_v(op: Opcode, rd: Reg, rt: Reg, rs: Reg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::ShiftV);
-        Instruction { op, rd, rt, rs, ..Default::default() }
+        Instruction {
+            op,
+            rd,
+            rt,
+            rs,
+            ..Default::default()
+        }
     }
 
     /// HI/LO multiply or divide, e.g. `mult $rs, $rt`.
     pub fn mul_div(op: Opcode, rs: Reg, rt: Reg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::MulDiv);
-        Instruction { op, rs, rt, ..Default::default() }
+        Instruction {
+            op,
+            rs,
+            rt,
+            ..Default::default()
+        }
     }
 
     /// Move from HI/LO (`mfhi $rd`) or to HI/LO (`mthi $rs`).
     pub fn hi_lo(op: Opcode, r: Reg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::HiLo);
         match op {
-            Opcode::Mfhi | Opcode::Mflo => Instruction { op, rd: r, ..Default::default() },
-            _ => Instruction { op, rs: r, ..Default::default() },
+            Opcode::Mfhi | Opcode::Mflo => Instruction {
+                op,
+                rd: r,
+                ..Default::default()
+            },
+            _ => Instruction {
+                op,
+                rs: r,
+                ..Default::default()
+            },
         }
     }
 
     /// Immediate ALU instruction, e.g. `addiu $rt, $rs, imm`.
     pub fn alu_i(op: Opcode, rt: Reg, rs: Reg, imm: i16) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::AluI);
-        Instruction { op, rt, rs, imm, ..Default::default() }
+        Instruction {
+            op,
+            rt,
+            rs,
+            imm,
+            ..Default::default()
+        }
     }
 
     /// `lui $rt, imm`.
     pub fn lui(rt: Reg, imm: i16) -> Instruction {
-        Instruction { op: Opcode::Lui, rt, imm, ..Default::default() }
+        Instruction {
+            op: Opcode::Lui,
+            rt,
+            imm,
+            ..Default::default()
+        }
     }
 
     /// Integer load or store, e.g. `lw $rt, imm($rs)`.
     pub fn mem(op: Opcode, rt: Reg, base: Reg, imm: i16) -> Instruction {
         debug_assert!(matches!(op.class(), OpcodeClass::Load | OpcodeClass::Store));
-        Instruction { op, rt, rs: base, imm, ..Default::default() }
+        Instruction {
+            op,
+            rt,
+            rs: base,
+            imm,
+            ..Default::default()
+        }
     }
 
     /// FP load or store, e.g. `lwc1 $ft, imm($rs)`.
     pub fn fp_mem(op: Opcode, ft: FReg, base: Reg, imm: i16) -> Instruction {
-        debug_assert!(matches!(op.class(), OpcodeClass::FpLoad | OpcodeClass::FpStore));
-        Instruction { op, ft, rs: base, imm, ..Default::default() }
+        debug_assert!(matches!(
+            op.class(),
+            OpcodeClass::FpLoad | OpcodeClass::FpStore
+        ));
+        Instruction {
+            op,
+            ft,
+            rs: base,
+            imm,
+            ..Default::default()
+        }
     }
 
     /// Absolute jump, e.g. `j target` (target in words).
     pub fn jump(op: Opcode, target: u32) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::Jump);
         debug_assert!(target < (1 << 26));
-        Instruction { op, target, ..Default::default() }
+        Instruction {
+            op,
+            target,
+            ..Default::default()
+        }
     }
 
     /// Jump through register: `jr $rs` or `jalr $rd, $rs`.
     pub fn jump_reg(op: Opcode, rd: Reg, rs: Reg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::JumpReg);
-        Instruction { op, rd, rs, ..Default::default() }
+        Instruction {
+            op,
+            rd,
+            rs,
+            ..Default::default()
+        }
     }
 
     /// Two-register branch, e.g. `beq $rs, $rt, offset` (offset in words
     /// relative to the delay slot).
     pub fn branch_cmp(op: Opcode, rs: Reg, rt: Reg, imm: i16) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::BranchCmp);
-        Instruction { op, rs, rt, imm, ..Default::default() }
+        Instruction {
+            op,
+            rs,
+            rt,
+            imm,
+            ..Default::default()
+        }
     }
 
     /// Compare-with-zero branch, e.g. `blez $rs, offset`.
     pub fn branch_z(op: Opcode, rs: Reg, imm: i16) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::BranchZ);
-        Instruction { op, rs, imm, ..Default::default() }
+        Instruction {
+            op,
+            rs,
+            imm,
+            ..Default::default()
+        }
     }
 
     /// FP condition branch, `bc1t offset` / `bc1f offset`.
     pub fn branch_fp(op: Opcode, imm: i16) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::BranchFp);
-        Instruction { op, imm, ..Default::default() }
+        Instruction {
+            op,
+            imm,
+            ..Default::default()
+        }
     }
 
     /// Three-register FP arithmetic, e.g. `add.d $fd, $fs, $ft`.
@@ -168,31 +249,55 @@ impl Instruction {
     /// `ft` as `$f0`.
     pub fn fp_arith3(op: Opcode, fd: FReg, fs: FReg, ft: FReg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::FpArith3);
-        Instruction { op, fd, fs, ft, ..Default::default() }
+        Instruction {
+            op,
+            fd,
+            fs,
+            ft,
+            ..Default::default()
+        }
     }
 
     /// Two-register FP arithmetic or conversion, e.g. `cvt.d.w $fd, $fs`.
     pub fn fp_arith2(op: Opcode, fd: FReg, fs: FReg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::FpArith2);
-        Instruction { op, fd, fs, ..Default::default() }
+        Instruction {
+            op,
+            fd,
+            fs,
+            ..Default::default()
+        }
     }
 
     /// FP compare, e.g. `c.lt.d $fs, $ft`.
     pub fn fp_compare(op: Opcode, fs: FReg, ft: FReg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::FpCompare);
-        Instruction { op, fs, ft, ..Default::default() }
+        Instruction {
+            op,
+            fs,
+            ft,
+            ..Default::default()
+        }
     }
 
     /// `mfc1 $rt, $fs` / `mtc1 $rt, $fs`.
     pub fn fp_move(op: Opcode, rt: Reg, fs: FReg) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::FpMove);
-        Instruction { op, rt, fs, ..Default::default() }
+        Instruction {
+            op,
+            rt,
+            fs,
+            ..Default::default()
+        }
     }
 
     /// `syscall` or `break`.
     pub fn system(op: Opcode) -> Instruction {
         debug_assert_eq!(op.class(), OpcodeClass::System);
-        Instruction { op, ..Default::default() }
+        Instruction {
+            op,
+            ..Default::default()
+        }
     }
 
     /// Encodes this instruction into its 32-bit MIPS machine word.
@@ -212,7 +317,8 @@ impl Instruction {
         let cop1 = |fmt: u32, funct: u32| {
             (0x11 << 26) | (fmt << 21) | (ft << 16) | (fs << 11) | (fd << 6) | funct
         };
-        let cmp = |fmt: u32, funct: u32| (0x11 << 26) | (fmt << 21) | (ft << 16) | (fs << 11) | funct;
+        let cmp =
+            |fmt: u32, funct: u32| (0x11 << 26) | (fmt << 21) | (ft << 16) | (fs << 11) | funct;
 
         match self.op {
             Add => r_type(0x20),
@@ -361,7 +467,14 @@ impl Instruction {
                     0x1B => Divu,
                     _ => return Err(err()),
                 };
-                Instruction { op: opc, rd, rs, rt, shamt, ..Default::default() }
+                Instruction {
+                    op: opc,
+                    rd,
+                    rs,
+                    rt,
+                    shamt,
+                    ..Default::default()
+                }
             }
             1 => match rt.number() {
                 0 => Instruction::branch_z(Bltz, rs, imm),
@@ -561,8 +674,7 @@ mod tests {
         for &op in Opcode::all() {
             let instr = sample(op);
             let word = instr.encode();
-            let back = Instruction::decode(word)
-                .unwrap_or_else(|e| panic!("decode {op:?}: {e}"));
+            let back = Instruction::decode(word).unwrap_or_else(|e| panic!("decode {op:?}: {e}"));
             assert_eq!(back, instr, "round trip for {op:?} (word {word:#010x})");
         }
     }

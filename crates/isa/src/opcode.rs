@@ -361,8 +361,7 @@ impl Opcode {
             Xori, Lui, Lb, Lbu, Lh, Lhu, Lw, Sb, Sh, Sw, Lwc1, Swc1, Ldc1, Sdc1, J, Jal, Jr, Jalr,
             Beq, Bne, Blez, Bgtz, Bltz, Bgez, AddS, SubS, MulS, DivS, AbsS, NegS, MovS, SqrtS,
             AddD, SubD, MulD, DivD, AbsD, NegD, MovD, SqrtD, CvtSD, CvtSW, CvtDS, CvtDW, CvtWS,
-            CvtWD, CEqS, CLtS, CLeS, CEqD, CLtD, CLeD, Bc1t, Bc1f, Mfc1, Mtc1, Syscall, Break,
-            Nop,
+            CvtWD, CEqS, CLtS, CLeS, CEqD, CLtD, CLeD, Bc1t, Bc1f, Mfc1, Mtc1, Syscall, Break, Nop,
         ]
     }
 }

@@ -84,7 +84,15 @@ impl PackedOp {
     }
 
     pub(crate) fn fields(&self) -> (u32, u8, u8, u32, u8, u8, u8) {
-        (self.pc, self.kind, self.aux, self.payload, self.dst, self.src1, self.src2)
+        (
+            self.pc,
+            self.kind,
+            self.aux,
+            self.payload,
+            self.dst,
+            self.src1,
+            self.src2,
+        )
     }
 }
 
@@ -106,7 +114,10 @@ impl PackedTrace {
 
     /// An empty trace with room for `n` records.
     pub fn with_capacity(n: usize) -> PackedTrace {
-        PackedTrace { ops: Vec::with_capacity(n), stats: TraceStats::default() }
+        PackedTrace {
+            ops: Vec::with_capacity(n),
+            stats: TraceStats::default(),
+        }
     }
 
     /// Packs an already-collected op sequence.
@@ -180,7 +191,8 @@ impl PackedTrace {
     pub fn read_from<R: Read>(source: R) -> io::Result<PackedTrace> {
         let reader = TraceReader::new(source)?;
         let mut trace = match reader.len_hint() {
-            Some(n) => PackedTrace::with_capacity(n as usize),
+            // A hint too large for the platform falls back to growing lazily.
+            Some(n) => PackedTrace::with_capacity(usize::try_from(n).unwrap_or(0)),
             None => PackedTrace::new(),
         };
         for op in reader {
@@ -226,7 +238,10 @@ mod tests {
         vec![
             TraceOp {
                 pc: 0x0040_0000,
-                kind: OpKind::Load { ea: 0x1001_0040, width: MemWidth::Word },
+                kind: OpKind::Load {
+                    ea: 0x1001_0040,
+                    width: MemWidth::Word,
+                },
                 dst: Some(ArchReg::Int(8)),
                 src1: Some(ArchReg::Int(29)),
                 src2: None,
@@ -234,12 +249,21 @@ mod tests {
             TraceOp::bare(0x0040_0004, OpKind::FpDiv),
             TraceOp {
                 pc: 0x0040_0008,
-                kind: OpKind::Branch { taken: true, target: 0x0040_0000 },
+                kind: OpKind::Branch {
+                    taken: true,
+                    target: 0x0040_0000,
+                },
                 dst: None,
                 src1: Some(ArchReg::FpCond),
                 src2: Some(ArchReg::HiLo),
             },
-            TraceOp::bare(0x0040_0010, OpKind::Jump { target: 0x0040_0100, register: true }),
+            TraceOp::bare(
+                0x0040_0010,
+                OpKind::Jump {
+                    target: 0x0040_0100,
+                    register: true,
+                },
+            ),
             TraceOp::bare(0x0040_0014, OpKind::Nop),
         ]
     }
@@ -286,8 +310,10 @@ mod tests {
         let trace = PackedTrace::from_ops(ops.clone());
         let mut buf = Vec::new();
         trace.write_to(&mut buf).unwrap();
-        let back: Vec<TraceOp> =
-            read_trace(&buf[..]).unwrap().collect::<io::Result<_>>().unwrap();
+        let back: Vec<TraceOp> = read_trace(&buf[..])
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
         assert_eq!(back, ops);
         // streaming writer -> packed reader
         let mut buf2 = Vec::new();
@@ -299,7 +325,9 @@ mod tests {
     #[test]
     fn corrupt_stream_is_rejected() {
         let mut buf = Vec::new();
-        PackedTrace::from_ops(sample_ops()).write_to(&mut buf).unwrap();
+        PackedTrace::from_ops(sample_ops())
+            .write_to(&mut buf)
+            .unwrap();
         buf[16 + 4] = 200; // invalid kind tag in the first record
         assert!(PackedTrace::read_from(&buf[..]).is_err());
     }

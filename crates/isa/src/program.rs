@@ -69,7 +69,13 @@ impl Program {
             entry >= text_base && entry < text_end.max(text_base + 4),
             "entry {entry:#x} outside text [{text_base:#x}, {text_end:#x})"
         );
-        Program { text_base, instructions, data, entry, symbols }
+        Program {
+            text_base,
+            instructions,
+            data,
+            entry,
+            symbols,
+        }
     }
 
     /// Base address of the text segment.
@@ -107,7 +113,8 @@ impl Program {
         if addr < self.text_base || !addr.is_multiple_of(4) {
             return None;
         }
-        self.instructions.get(((addr - self.text_base) / 4) as usize)
+        self.instructions
+            .get(((addr - self.text_base) / 4) as usize)
     }
 
     /// Static code size in bytes.
@@ -197,7 +204,10 @@ mod tests {
         Program::new(
             TEXT_BASE,
             vec![Instruction::nop(), Instruction::system(Opcode::Break)],
-            Segment { base: DATA_BASE, bytes: vec![1, 2, 3, 4] },
+            Segment {
+                base: DATA_BASE,
+                bytes: vec![1, 2, 3, 4],
+            },
             TEXT_BASE,
             syms,
         )
@@ -222,7 +232,10 @@ mod tests {
         Program::new(
             TEXT_BASE,
             vec![Instruction::nop()],
-            Segment { base: DATA_BASE, bytes: vec![] },
+            Segment {
+                base: DATA_BASE,
+                bytes: vec![],
+            },
             TEXT_BASE + 0x1000,
             BTreeMap::new(),
         );
@@ -237,7 +250,10 @@ mod tests {
             Program::new(
                 TEXT_BASE,
                 instrs,
-                Segment { base: DATA_BASE, bytes: vec![] },
+                Segment {
+                    base: DATA_BASE,
+                    bytes: vec![],
+                },
                 TEXT_BASE,
                 BTreeMap::new(),
             )

@@ -137,7 +137,10 @@ impl OpKind {
     pub fn is_memory(self) -> bool {
         matches!(
             self,
-            OpKind::Load { .. } | OpKind::Store { .. } | OpKind::FpLoad { .. } | OpKind::FpStore { .. }
+            OpKind::Load { .. }
+                | OpKind::Store { .. }
+                | OpKind::FpLoad { .. }
+                | OpKind::FpStore { .. }
         )
     }
 
@@ -191,7 +194,13 @@ pub struct TraceOp {
 impl TraceOp {
     /// A trace op with no register operands.
     pub fn bare(pc: u32, kind: OpKind) -> TraceOp {
-        TraceOp { pc, kind, dst: None, src1: None, src2: None }
+        TraceOp {
+            pc,
+            kind,
+            dst: None,
+            src1: None,
+            src2: None,
+        }
     }
 
     /// Iterates over the (up to two) source registers.
@@ -294,12 +303,19 @@ mod tests {
 
     #[test]
     fn op_kind_predicates() {
-        let ld = OpKind::Load { ea: 0x100, width: MemWidth::Word };
+        let ld = OpKind::Load {
+            ea: 0x100,
+            width: MemWidth::Word,
+        };
         assert!(ld.is_memory());
         assert!(!ld.is_fpu());
         assert_eq!(ld.effective_address(), Some(0x100));
         assert!(OpKind::FpDiv.is_fpu());
-        assert!(OpKind::Branch { taken: true, target: 0 }.is_control_flow());
+        assert!(OpKind::Branch {
+            taken: true,
+            target: 0
+        }
+        .is_control_flow());
         assert_eq!(OpKind::IntAlu.effective_address(), None);
     }
 
@@ -307,8 +323,20 @@ mod tests {
     fn stats_accumulate() {
         let mut s = TraceStats::default();
         s.record(&TraceOp::bare(0, OpKind::IntAlu));
-        s.record(&TraceOp::bare(4, OpKind::Load { ea: 0, width: MemWidth::Word }));
-        s.record(&TraceOp::bare(8, OpKind::Branch { taken: true, target: 0 }));
+        s.record(&TraceOp::bare(
+            4,
+            OpKind::Load {
+                ea: 0,
+                width: MemWidth::Word,
+            },
+        ));
+        s.record(&TraceOp::bare(
+            8,
+            OpKind::Branch {
+                taken: true,
+                target: 0,
+            },
+        ));
         s.record(&TraceOp::bare(12, OpKind::FpMul));
         assert_eq!(s.total, 4);
         assert_eq!(s.loads, 1);

@@ -222,7 +222,10 @@ mod tests {
         vec![
             TraceOp {
                 pc: 0x0040_0000,
-                kind: OpKind::Load { ea: 0x1001_0040, width: MemWidth::Word },
+                kind: OpKind::Load {
+                    ea: 0x1001_0040,
+                    width: MemWidth::Word,
+                },
                 dst: Some(ArchReg::Int(8)),
                 src1: Some(ArchReg::Int(29)),
                 src2: None,
@@ -230,19 +233,31 @@ mod tests {
             TraceOp::bare(0x0040_0004, OpKind::FpDiv),
             TraceOp {
                 pc: 0x0040_0008,
-                kind: OpKind::Branch { taken: true, target: 0x0040_0000 },
+                kind: OpKind::Branch {
+                    taken: true,
+                    target: 0x0040_0000,
+                },
                 dst: None,
                 src1: Some(ArchReg::FpCond),
                 src2: Some(ArchReg::HiLo),
             },
             TraceOp {
                 pc: 0x0040_000c,
-                kind: OpKind::FpStore { ea: 0x1001_0048, width: MemWidth::Double },
+                kind: OpKind::FpStore {
+                    ea: 0x1001_0048,
+                    width: MemWidth::Double,
+                },
                 dst: None,
                 src1: Some(ArchReg::Int(4)),
                 src2: Some(ArchReg::Fp(12)),
             },
-            TraceOp::bare(0x0040_0010, OpKind::Jump { target: 0x0040_0100, register: true }),
+            TraceOp::bare(
+                0x0040_0010,
+                OpKind::Jump {
+                    target: 0x0040_0100,
+                    register: true,
+                },
+            ),
             TraceOp::bare(0x0040_0014, OpKind::Nop),
         ]
     }
@@ -253,8 +268,10 @@ mod tests {
         let mut buf = Vec::new();
         let n = write_trace(&mut buf, ops.iter().copied()).unwrap();
         assert_eq!(n, ops.len() as u64);
-        let back: Vec<TraceOp> =
-            read_trace(&buf[..]).unwrap().collect::<io::Result<_>>().unwrap();
+        let back: Vec<TraceOp> = read_trace(&buf[..])
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
         assert_eq!(back, ops);
     }
 

@@ -1,0 +1,6 @@
+# Structural fingerprint of the packed trace format.
+# Re-record with `cargo run -p aurora-lint -- --fingerprint` whenever
+# the PackedOp layout or codec constants change, and bump
+# TRACE_FORMAT_VERSION alongside it. See docs/LINTS.md (L005).
+version = 1
+fingerprint = 0xd0c5ed85b8be2223

@@ -1,0 +1,549 @@
+//! Minimal hand-rolled Rust lexer.
+//!
+//! Strips comments and string/char literals, then yields identifier, number,
+//! and punctuation tokens tagged with 1-based line numbers. This is not a
+//! full Rust lexer — it tokenizes just enough to resolve `fn` boundaries,
+//! struct fields, paths, method calls, and `as` casts, which is all the
+//! rule engine needs. Because literals and comments are dropped before any
+//! rule runs, prose like "never call .unwrap() here" in a doc comment can
+//! never trigger a finding.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`, discarding comments and all literal bodies.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            i = skip_string(&chars, i, &mut line);
+        } else if c == '\'' {
+            i = skip_quote(&chars, i, &mut line);
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            // Consume a fractional part, but never a `..` range operator.
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            // Raw/byte string prefixes swallow the literal instead of
+            // emitting an identifier token.
+            if i < n && matches!(text.as_str(), "r" | "b" | "br" | "rb") {
+                match chars[i] {
+                    '"' if text == "b" => {
+                        i = skip_string(&chars, i, &mut line);
+                        continue;
+                    }
+                    '"' | '#' if text != "b" => {
+                        i = skip_raw_string(&chars, i, &mut line);
+                        continue;
+                    }
+                    '\'' if text == "b" => {
+                        i = skip_quote(&chars, i, &mut line);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+        } else {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Skip a `"..."` literal starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_string(chars: &[char], start: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let mut i = start + 1;
+    while i < n {
+        match chars[i] {
+            '\\' => {
+                if i + 1 < n && chars[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string literal: cursor is on `"` or the first `#` after an
+/// `r`/`br` prefix.
+fn skip_raw_string(chars: &[char], start: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let mut i = start;
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || chars[i] != '"' {
+        // `r#ident` raw identifier: the hashes belonged to an identifier.
+        return i;
+    }
+    i += 1;
+    while i < n {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"' {
+            let mut h = 0usize;
+            while h < hashes && i + 1 + h < n && chars[i + 1 + h] == '#' {
+                h += 1;
+            }
+            if h == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip a `'x'` char literal or a `'lifetime`; cursor is on the `'`.
+fn skip_quote(chars: &[char], start: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let i = start;
+    if i + 1 < n && chars[i + 1] == '\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\'' => return j + 1,
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        j
+    } else if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        i + 3
+    } else {
+        // Lifetime: consume the tick and the trailing identifier.
+        let mut j = i + 1;
+        while j < n && is_ident_char(chars[j]) {
+            j += 1;
+        }
+        j
+    }
+}
+
+/// A resolved `fn` item: name, declaration line, and the token range of its
+/// body (from the opening `{` through the matching `}` inclusive).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub decl_line: u32,
+    pub start_line: u32,
+    pub end_line: u32,
+    pub body: std::ops::Range<usize>,
+}
+
+/// Resolve every `fn` item in the token stream, including nested ones.
+pub fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let decl_line = toks[i].line;
+            // The body brace is the first `{` at paren/bracket depth zero
+            // after the signature; a `;` there means a bodyless trait item.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if let Some(o) = open {
+                let mut braces = 0i32;
+                let mut k = o;
+                while k < toks.len() {
+                    if toks[k].kind == TokKind::Punct {
+                        match toks[k].text.as_str() {
+                            "{" => braces += 1,
+                            "}" => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let end = k.min(toks.len().saturating_sub(1));
+                out.push(FnSpan {
+                    name,
+                    decl_line,
+                    start_line: toks[o].line,
+                    end_line: toks[end].line,
+                    body: o..(k + 1).min(toks.len()),
+                });
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A named struct field declaration.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: String,
+    pub line: u32,
+    pub public: bool,
+}
+
+/// Extract the named fields of `struct <name>`; `None` if the struct is not
+/// declared in this token stream, `Some(vec![])` for tuple/unit structs.
+pub fn struct_fields(toks: &[Tok], name: &str) -> Option<Vec<FieldDef>> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("struct") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "{" if toks[j].kind == TokKind::Punct => {
+                        return Some(parse_fields(toks, j));
+                    }
+                    "(" | ";" if toks[j].kind == TokKind::Punct => return Some(Vec::new()),
+                    _ => j += 1,
+                }
+            }
+            return Some(Vec::new());
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_fields(toks: &[Tok], open: usize) -> Vec<FieldDef> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    loop {
+        // Skip attributes and visibility modifiers on the next field.
+        loop {
+            match toks.get(i) {
+                Some(t) if t.is_punct("#") => {
+                    // `#[...]` — skip the bracketed group.
+                    i += 1;
+                    if toks.get(i).map(|t| t.is_punct("[")) == Some(true) {
+                        let mut depth = 0i32;
+                        while let Some(t) = toks.get(i) {
+                            if t.is_punct("[") {
+                                depth += 1;
+                            } else if t.is_punct("]") {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                Some(t) if t.is_punct(",") => i += 1,
+                _ => break,
+            }
+        }
+        let public = match toks.get(i) {
+            Some(t) if t.is_ident("pub") => {
+                i += 1;
+                // `pub(crate)` and friends.
+                if toks.get(i).map(|t| t.is_punct("(")) == Some(true) {
+                    let mut depth = 0i32;
+                    while let Some(t) = toks.get(i) {
+                        if t.is_punct("(") {
+                            depth += 1;
+                        } else if t.is_punct(")") {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                true
+            }
+            _ => false,
+        };
+        let (name, line) = match toks.get(i) {
+            Some(t) if t.kind == TokKind::Ident => (t.text.clone(), t.line),
+            Some(t) if t.is_punct("}") => return out,
+            _ => return out,
+        };
+        i += 1;
+        if toks.get(i).map(|t| t.is_punct(":")) != Some(true) {
+            return out;
+        }
+        i += 1;
+        // Collect the type: everything up to a `,` or `}` at nesting depth
+        // zero, tracking (), [], <> so generic arguments stay attached.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    "," if depth == 0 => break,
+                    "}" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            ty.push_str(&t.text);
+            i += 1;
+        }
+        out.push(FieldDef {
+            name,
+            ty,
+            line,
+            public,
+        });
+        match toks.get(i) {
+            Some(t) if t.is_punct(",") => i += 1,
+            _ => return out,
+        }
+    }
+}
+
+/// Extract `const NAME: TY = <number>;` declarations (top-level or in
+/// impl blocks) whose value is a single numeric literal, optionally
+/// negated. Restricting to literals keeps the L005 fingerprint anchored
+/// to encoding constants (kind tags, register codes, the format version)
+/// and insensitive to test-module consts or formatting churn in compound
+/// const expressions.
+pub fn numeric_consts(toks: &[Tok]) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("const") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            let mut j = i + 2;
+            let mut saw_eq = false;
+            let mut value_toks: Vec<&Tok> = Vec::new();
+            while let Some(t) = toks.get(j) {
+                if t.is_punct(";") {
+                    break;
+                }
+                if saw_eq {
+                    value_toks.push(t);
+                } else if t.is_punct("=") {
+                    saw_eq = true;
+                }
+                j += 1;
+            }
+            let numeric = match value_toks.as_slice() {
+                [v] => v.kind == TokKind::Num,
+                [s, v] => s.is_punct("-") && v.kind == TokKind::Num,
+                _ => false,
+            };
+            if saw_eq && numeric {
+                let value: String = value_toks.iter().map(|t| t.text.as_str()).collect();
+                out.push((name, value, line));
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let toks = lex("let s = \"a.unwrap()\"; // .expect()\n/* panic! */ let t = 'x';");
+        assert!(toks
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "expect" && t.text != "panic"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let toks = lex("fn f<'a>(x: &'a u8) -> &'a u8 { x }");
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        let spans = fn_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "f");
+    }
+
+    #[test]
+    fn raw_strings_skip() {
+        let toks = lex("let r = r#\"has \"quotes\" and .unwrap()\"#; let b = baseline;");
+        assert!(toks.iter().any(|t| t.is_ident("baseline")));
+        assert!(toks.iter().all(|t| t.text != "unwrap"));
+    }
+
+    #[test]
+    fn fn_spans_find_nested() {
+        let src = "impl X { fn outer(&self) { fn inner() -> u64 { 3 } inner() } }";
+        let toks = lex(src);
+        let spans = fn_spans(&toks);
+        let names: Vec<_> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner"));
+    }
+
+    #[test]
+    fn struct_fields_extract_names_and_types() {
+        let src = "pub struct S { pub a: u64, b: [u8; 3], pub c: Option<u32> }";
+        let toks = lex(src);
+        let fields = struct_fields(&toks, "S").unwrap();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].name, "a");
+        assert_eq!(fields[0].ty, "u64");
+        assert!(fields[0].public);
+        assert_eq!(fields[1].ty, "[u8;3]");
+        assert!(!fields[1].public);
+        assert_eq!(fields[2].ty, "Option<u32>");
+    }
+
+    #[test]
+    fn consts_extract_values() {
+        let src = "pub const K_A: u8 = 7;\nconst VER: u32 = 1;\nconst NEG: i8 = -3;";
+        let toks = lex(src);
+        let consts = numeric_consts(&toks);
+        assert_eq!(consts.len(), 3);
+        assert_eq!(consts[0].0, "K_A");
+        assert_eq!(consts[0].1, "7");
+        assert_eq!(consts[1].1, "1");
+        assert_eq!(consts[2].1, "-3");
+    }
+
+    #[test]
+    fn non_literal_consts_are_not_fingerprinted() {
+        // Compound const expressions (arrays, struct literals, byte
+        // strings) are formatting-sensitive and excluded from the L005
+        // fingerprint; only single numeric literals count.
+        let src =
+            "const ALL: &[u8] = &[1, 2, 3];\nconst H: [u8; 4] = *b\"ATRC\";\nconst N: u8 = 5;";
+        let toks = lex(src);
+        let consts = numeric_consts(&toks);
+        assert_eq!(consts.len(), 1);
+        assert_eq!(consts[0].0, "N");
+    }
+}

@@ -1,0 +1,288 @@
+//! `aurora-lint` — a zero-dependency static analyzer for the aurora
+//! workspace.
+//!
+//! The simulator's correctness rests on invariants that ordinary tests
+//! cannot see: the hot loop must stay allocation- and panic-free, every
+//! counter the model accumulates must be consumed by a report, every config
+//! knob must be exercised by a sweep, and the packed trace layout must
+//! never drift without a `TRACE_FORMAT_VERSION` bump. This crate walks the
+//! workspace source with a hand-rolled lexer (no `syn` — tier-1 builds
+//! offline) and enforces those invariants as lint rules L001–L006.
+//!
+//! Findings are suppressed inline with `// lint:allow(L0xx): <reason>`;
+//! the reason is mandatory, and a pragma without one is itself a finding
+//! (L000). See `docs/LINTS.md` for the full rule catalogue.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use config::LintConfig;
+use lexer::{FnSpan, Tok};
+
+/// One analyzed source file.
+pub struct FileData {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnSpan>,
+    pub pragmas: Vec<Pragma>,
+}
+
+/// An inline `lint:allow(L0xx, ...): reason` comment suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    pub line: u32,
+    /// The first non-comment line at or below the pragma: the code the
+    /// pragma is attached to (continuation comment lines are skipped, so a
+    /// pragma may wrap across several `//` lines).
+    pub target_line: u32,
+    pub rules: Vec<String>,
+    /// False when the mandatory `: reason` part is missing or empty.
+    pub reason_ok: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {} {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+    pub files_scanned: usize,
+}
+
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: BTreeMap<String, FileData>,
+}
+
+impl Workspace {
+    pub fn file(&self, rel: &str) -> Option<&FileData> {
+        self.files.get(rel)
+    }
+}
+
+/// Analyze the workspace rooted at `root` (the directory holding
+/// `lint.toml`). Returns the post-suppression report.
+pub fn analyze(root: &Path) -> Result<Report, String> {
+    let cfg = LintConfig::load(&root.join("lint.toml")).map_err(|e| e.to_string())?;
+    analyze_with(root, &cfg)
+}
+
+pub fn analyze_with(root: &Path, cfg: &LintConfig) -> Result<Report, String> {
+    let ws = load_workspace(root, cfg)?;
+    let raw = rules::run_all(&ws, cfg);
+    Ok(apply_pragmas(&ws, raw))
+}
+
+/// Load and lex every `.rs` file under `root` not excluded by the config.
+pub fn load_workspace(root: &Path, cfg: &LintConfig) -> Result<Workspace, String> {
+    let mut files = BTreeMap::new();
+    let mut paths = Vec::new();
+    collect_rs(root, root, &cfg.exclude, &mut paths)?;
+    for path in paths {
+        let rel = rel_path(root, &path);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let toks = lexer::lex(&src);
+        let fns = lexer::fn_spans(&toks);
+        let pragmas = scan_pragmas(&src);
+        files.insert(
+            rel.clone(),
+            FileData {
+                rel,
+                toks,
+                fns,
+                pragmas,
+            },
+        );
+    }
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+    })
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        if exclude
+            .iter()
+            .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+        {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            collect_rs(root, &path, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Scan raw source lines for suppression pragmas. This runs on the raw text
+/// (not the token stream) because pragmas live inside comments, which the
+/// lexer discards.
+pub fn scan_pragmas(src: &str) -> Vec<Pragma> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(comment) = line.find("//") else {
+            continue;
+        };
+        // The pragma must be the comment's leading content; this keeps prose
+        // that merely *mentions* the pragma syntax (docs, explain strings)
+        // from registering as a suppression.
+        let body = line[comment + 2..]
+            .trim_start_matches(['/', '!'])
+            .trim_start();
+        if !body.starts_with("lint:allow(") {
+            continue;
+        }
+        // The pragma attaches to the first following non-comment line, so a
+        // long reason may wrap across several comment lines.
+        let target_line = (idx + 1..lines.len())
+            .find(|&j| {
+                let t = lines[j].trim_start();
+                !t.is_empty() && !t.starts_with("//")
+            })
+            .map(|j| (j + 1) as u32)
+            .unwrap_or((idx + 1) as u32);
+        let after = &body["lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            out.push(Pragma {
+                line: (idx + 1) as u32,
+                target_line,
+                rules: Vec::new(),
+                reason_ok: false,
+            });
+            continue;
+        };
+        let ids: Vec<String> = after[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let well_formed_ids = !ids.is_empty()
+            && ids.iter().all(|id| {
+                id.len() == 4 && id.starts_with('L') && id[1..].chars().all(|c| c.is_ascii_digit())
+            });
+        let rest = after[close + 1..].trim_start();
+        let reason_ok = well_formed_ids && rest.starts_with(':') && !rest[1..].trim().is_empty();
+        out.push(Pragma {
+            line: (idx + 1) as u32,
+            target_line,
+            rules: ids,
+            reason_ok,
+        });
+    }
+    out
+}
+
+/// Fold pragmas into the raw findings: well-formed pragmas suppress
+/// matching findings, malformed ones become L000 findings themselves.
+///
+/// A pragma applies to findings on its own line and on its target line —
+/// the first non-comment line below it. When the target line declares a
+/// `fn` item, the named rules are suppressed for that entire function
+/// body.
+fn apply_pragmas(ws: &Workspace, raw: Vec<Finding>) -> Report {
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let covered = ws
+            .file(&f.file)
+            .map(|fd| {
+                fd.pragmas.iter().any(|p| {
+                    p.reason_ok
+                        && p.rules.iter().any(|r| r == f.rule)
+                        && pragma_covers(fd, p, f.line)
+                })
+            })
+            .unwrap_or(false);
+        if covered {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    for fd in ws.files.values() {
+        for p in fd.pragmas.iter().filter(|p| !p.reason_ok) {
+            findings.push(Finding {
+                file: fd.rel.clone(),
+                line: p.line,
+                rule: "L000",
+                msg: "suppression pragma is malformed or missing its mandatory `: <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    Report {
+        findings,
+        suppressed,
+        files_scanned: ws.files.len(),
+    }
+}
+
+fn pragma_covers(fd: &FileData, p: &Pragma, line: u32) -> bool {
+    if p.line == line || p.target_line == line {
+        return true;
+    }
+    // Function-level coverage: the pragma's target line is the `fn`
+    // declaration itself, and the finding is inside that function's body.
+    fd.fns
+        .iter()
+        .any(|s| s.decl_line == p.target_line && line >= s.decl_line && line <= s.end_line)
+}
+
+/// Walk upward from `start` to the nearest directory containing `lint.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

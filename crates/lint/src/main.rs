@@ -1,0 +1,159 @@
+//! `aurora-lint` CLI.
+//!
+//! ```text
+//! aurora-lint                 # analyze the workspace, exit 1 on findings
+//! aurora-lint --explain L002  # print the rationale for a rule
+//! aurora-lint --fingerprint   # print the trace-format record file contents
+//! aurora-lint --root <dir>    # analyze a different workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aurora_lint::config::LintConfig;
+use aurora_lint::{analyze, find_root, load_workspace, rules};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
+    let mut fingerprint = false;
+    let mut canonical = false;
+    let mut list = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => return usage("--root needs a path"),
+                }
+            }
+            "--explain" => {
+                i += 1;
+                match args.get(i) {
+                    Some(r) => explain = Some(r.clone()),
+                    None => return usage("--explain needs a rule id (e.g. L002)"),
+                }
+            }
+            "--fingerprint" => fingerprint = true,
+            "--canonical" => canonical = true,
+            "--list" => list = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    if let Some(rule) = explain {
+        return match rules::explain(&rule) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("aurora-lint: unknown rule `{rule}`");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if list {
+        for (id, title, _) in rules::RULES {
+            println!("{id}  {title}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
+        Some(r) => r,
+        None => {
+            eprintln!("aurora-lint: no lint.toml found between here and the filesystem root");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if fingerprint || canonical {
+        let cfg = match LintConfig::load(&root.join("lint.toml")) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("aurora-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let ws = match load_workspace(&root, &cfg) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("aurora-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match rules::compute_fingerprint(&ws, &cfg) {
+            Ok(fp) => {
+                if canonical {
+                    // Debug view: the exact string the fingerprint hashes,
+                    // for diffing when a drift finding looks surprising.
+                    println!("{}", fp.canonical);
+                    return ExitCode::SUCCESS;
+                }
+                println!("# Structural fingerprint of the packed trace format.");
+                println!("# Re-record with `cargo run -p aurora-lint -- --fingerprint` whenever");
+                println!("# the PackedOp layout or codec constants change, and bump");
+                println!("# TRACE_FORMAT_VERSION alongside it. See docs/LINTS.md (L005).");
+                println!("version = {}", fp.version.unwrap_or(0));
+                println!("fingerprint = {:#018x}", fp.hash);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aurora-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match analyze(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.findings.is_empty() {
+                println!(
+                    "aurora-lint: clean — {} files scanned, {} finding(s) suppressed by pragma",
+                    report.files_scanned, report.suppressed
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "aurora-lint: {} finding(s) across {} files ({} suppressed); \
+                     run `aurora-lint --explain <rule>` for rationale",
+                    report.findings.len(),
+                    report.files_scanned,
+                    report.suppressed
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("aurora-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("aurora-lint: {err}");
+    }
+    eprintln!(
+        "usage: aurora-lint [--root <dir>] [--explain L0xx] [--fingerprint] [--list]\n\
+         \n\
+         Walks the workspace rooted at the nearest lint.toml and enforces the\n\
+         hot-path, dead-counter, config-coverage and trace-format invariants.\n\
+         Exits non-zero when any unsuppressed finding remains."
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

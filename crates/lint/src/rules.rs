@@ -1,0 +1,669 @@
+//! The six lint rules. Each rule walks the pre-lexed token streams in a
+//! `Workspace` and emits raw findings; suppression is applied by the caller.
+
+use crate::config::LintConfig;
+use crate::lexer::{self, Tok, TokKind};
+use crate::{FileData, Finding, Workspace};
+
+/// Methods whose stable-sort / copy / collection semantics allocate.
+const ALLOC_METHODS: &[&str] = &[
+    "clone",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Heap collection types that have no place in the hot loop.
+const ALLOC_TYPES: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Constructors that allocate when reached through a path call.
+const ALLOC_PATH_HEADS: &[&str] = &["Box", "Vec", "VecDeque", "String"];
+const ALLOC_PATH_TAILS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Methods that can panic.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Cast targets L006 treats as narrowing. `u64`/`i64`/floats are excluded:
+/// on every supported target they cannot lose integer bits that the codec
+/// cares about, while `usize` can (32-bit hosts).
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize"];
+
+pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    hot_path_rules(ws, cfg, &mut out);
+    dead_counters(ws, cfg, &mut out);
+    config_coverage(ws, cfg, &mut out);
+    trace_format(ws, cfg, &mut out);
+    narrowing_casts(ws, cfg, &mut out);
+    out
+}
+
+fn finding(file: &str, line: u32, rule: &'static str, msg: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        msg,
+    }
+}
+
+// ---------------------------------------------------------------- L001/L002
+
+fn hot_path_rules(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for hot in &cfg.hot {
+        let Some(fd) = ws.file(&hot.file) else {
+            out.push(finding(
+                &hot.file,
+                0,
+                "L001",
+                "hot-path file declared in lint.toml was not found in the workspace".to_string(),
+            ));
+            continue;
+        };
+        for name in &hot.functions {
+            let spans: Vec<_> = fd.fns.iter().filter(|s| s.name == *name).collect();
+            if spans.is_empty() {
+                out.push(finding(
+                    &hot.file,
+                    0,
+                    "L001",
+                    format!(
+                        "hot function `{name}` declared in lint.toml does not exist in this \
+                         file — update lint.toml"
+                    ),
+                ));
+                continue;
+            }
+            for span in spans {
+                scan_hot_body(fd, &fd.toks[span.body.clone()], name, out);
+            }
+        }
+    }
+}
+
+fn scan_hot_body(fd: &FileData, body: &[Tok], fn_name: &str, out: &mut Vec<Finding>) {
+    for (k, t) in body.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                let next = body.get(k + 1);
+                let is_macro = matches!(next, Some(n) if n.is_punct("!"));
+                if is_macro && ALLOC_MACROS.contains(&t.text.as_str()) {
+                    out.push(finding(
+                        &fd.rel,
+                        t.line,
+                        "L001",
+                        format!("`{}!` allocates inside hot function `{fn_name}`", t.text),
+                    ));
+                }
+                if is_macro && PANIC_MACROS.contains(&t.text.as_str()) {
+                    out.push(finding(
+                        &fd.rel,
+                        t.line,
+                        "L002",
+                        format!("`{}!` can abort inside hot function `{fn_name}`", t.text),
+                    ));
+                }
+                if ALLOC_TYPES.contains(&t.text.as_str()) {
+                    out.push(finding(
+                        &fd.rel,
+                        t.line,
+                        "L001",
+                        format!(
+                            "heap collection `{}` used inside hot function `{fn_name}`",
+                            t.text
+                        ),
+                    ));
+                }
+                if ALLOC_PATH_HEADS.contains(&t.text.as_str())
+                    && matches!(body.get(k + 1), Some(c1) if c1.is_punct(":"))
+                    && matches!(body.get(k + 2), Some(c2) if c2.is_punct(":"))
+                    && matches!(body.get(k + 3),
+                        Some(m) if ALLOC_PATH_TAILS.contains(&m.text.as_str()))
+                {
+                    out.push(finding(
+                        &fd.rel,
+                        t.line,
+                        "L001",
+                        format!(
+                            "`{}::{}` allocates inside hot function `{fn_name}`",
+                            t.text,
+                            body[k + 3].text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Punct if t.text == "." => {
+                if let Some(m) = body.get(k + 1) {
+                    if m.kind == TokKind::Ident {
+                        if ALLOC_METHODS.contains(&m.text.as_str()) {
+                            out.push(finding(
+                                &fd.rel,
+                                m.line,
+                                "L001",
+                                format!(
+                                    "`.{}()` allocates inside hot function `{fn_name}`",
+                                    m.text
+                                ),
+                            ));
+                        }
+                        if PANIC_METHODS.contains(&m.text.as_str()) {
+                            out.push(finding(
+                                &fd.rel,
+                                m.line,
+                                "L002",
+                                format!(
+                                    "`.{}()` can panic inside hot function `{fn_name}` — use an \
+                                     infallible pattern or a reasoned pragma",
+                                    m.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            TokKind::Punct if t.text == "[" && k > 0 => {
+                let prev = &body[k - 1];
+                let indexes = match prev.kind {
+                    TokKind::Ident => !is_keyword(&prev.text),
+                    TokKind::Num => true,
+                    TokKind::Punct => prev.text == ")" || prev.text == "]",
+                };
+                if indexes {
+                    out.push(finding(
+                        &fd.rel,
+                        t.line,
+                        "L002",
+                        format!(
+                            "slice index without `get` inside hot function `{fn_name}` — \
+                             indexing panics on out-of-bounds"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (e.g. `return [a, b]`, `in [0, 1]`).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "in" | "as" | "mut" | "ref" | "move" | "else" | "match" | "if" | "break"
+    )
+}
+
+// -------------------------------------------------------------------- L003
+
+fn dead_counters(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let stats = &cfg.stats;
+    if stats.file.is_empty() {
+        return;
+    }
+    let Some(root_fd) = ws.file(&stats.file) else {
+        out.push(finding(
+            &stats.file,
+            0,
+            "L003",
+            "stats file declared in lint.toml was not found".to_string(),
+        ));
+        return;
+    };
+    // Resolve the transitive closure of counter structs: every pub field of
+    // the root structs, recursing into struct-typed fields defined anywhere
+    // in the workspace.
+    let mut worklist: Vec<(String, String)> = stats
+        .structs
+        .iter()
+        .map(|s| (root_fd.rel.clone(), s.clone()))
+        .collect();
+    let mut visited: Vec<String> = Vec::new();
+    while let Some((def_file, struct_name)) = worklist.pop() {
+        if visited.contains(&struct_name) {
+            continue;
+        }
+        visited.push(struct_name.clone());
+        let Some(fd) = ws.file(&def_file) else {
+            continue;
+        };
+        let Some(fields) = lexer::struct_fields(&fd.toks, &struct_name) else {
+            out.push(finding(
+                &fd.rel,
+                0,
+                "L003",
+                format!("struct `{struct_name}` declared in lint.toml was not found"),
+            ));
+            continue;
+        };
+        for field in fields.iter().filter(|f| f.public) {
+            if let Some((sub_file, sub_name)) = resolve_struct(ws, &field.ty) {
+                worklist.push((sub_file, sub_name));
+            }
+            let read = ws.files.values().any(|other| {
+                other.rel != fd.rel
+                    && other.rel != stats.file
+                    && stats.read_scope.iter().any(|p| in_scope(&other.rel, p))
+                    && reads_field(&other.toks, &field.name)
+            });
+            if !read {
+                out.push(finding(
+                    &fd.rel,
+                    field.line,
+                    "L003",
+                    format!(
+                        "dead counter: `{struct_name}.{}` is never read outside its defining \
+                         file — surface it in a report or remove it",
+                        field.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// If `ty` names a struct with named fields somewhere in the workspace,
+/// return (defining file, struct name).
+fn resolve_struct(ws: &Workspace, ty: &str) -> Option<(String, String)> {
+    let head: String = ty
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if head.is_empty() || head.chars().next().is_some_and(|c| c.is_lowercase()) {
+        return None;
+    }
+    for fd in ws.files.values() {
+        if let Some(fields) = lexer::struct_fields(&fd.toks, &head) {
+            if !fields.is_empty() {
+                return Some((fd.rel.clone(), head));
+            }
+        }
+    }
+    None
+}
+
+fn in_scope(rel: &str, prefix: &str) -> bool {
+    rel == prefix || rel.starts_with(&format!("{prefix}/"))
+}
+
+/// True when `.field` appears as a *read*: any occurrence that is not the
+/// direct target of `=` or a compound assignment operator.
+fn reads_field(toks: &[Tok], field: &str) -> bool {
+    for k in 0..toks.len().saturating_sub(1) {
+        if !(toks[k].is_punct(".") && toks[k + 1].is_ident(field)) {
+            continue;
+        }
+        if !is_assignment_target(toks, k + 2) {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_assignment_target(toks: &[Tok], k: usize) -> bool {
+    let t = |i: usize| toks.get(k + i).map(|t| t.text.as_str()).unwrap_or("");
+    match t(0) {
+        // `=` alone is an assignment; `==` is a comparison (a read).
+        "=" => t(1) != "=",
+        // `+=`, `-=`, `*=`, `/=`, `%=`, `|=`, `&=`, `^=`.
+        "+" | "-" | "*" | "/" | "%" | "|" | "&" | "^" => t(1) == "=",
+        // `<<=` / `>>=`; plain `<=` / `>=` are comparisons.
+        "<" => t(1) == "<" && t(2) == "=",
+        ">" => t(1) == ">" && t(2) == "=",
+        _ => false,
+    }
+}
+
+// -------------------------------------------------------------------- L004
+
+fn config_coverage(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let cov = &cfg.config_coverage;
+    if cov.file.is_empty() {
+        return;
+    }
+    let Some(fd) = ws.file(&cov.file) else {
+        out.push(finding(
+            &cov.file,
+            0,
+            "L004",
+            "config file declared in lint.toml was not found".to_string(),
+        ));
+        return;
+    };
+    let Some(fields) = lexer::struct_fields(&fd.toks, &cov.struct_name) else {
+        out.push(finding(
+            &fd.rel,
+            0,
+            "L004",
+            format!(
+                "struct `{}` declared in lint.toml was not found",
+                cov.struct_name
+            ),
+        ));
+        return;
+    };
+    for field in fields.iter().filter(|f| f.public) {
+        // Any `.field` occurrence counts: a sweep *setting* a knob is
+        // exercising it just as much as a report reading it.
+        let used = ws.files.values().any(|other| {
+            cov.used_in.iter().any(|p| in_scope(&other.rel, p))
+                && touches_field(&other.toks, &field.name)
+        });
+        if !used {
+            out.push(finding(
+                &fd.rel,
+                field.line,
+                "L004",
+                format!(
+                    "config knob `{}.{}` is never referenced by {} — add it to a sweep or \
+                     report, or remove it",
+                    cov.struct_name,
+                    field.name,
+                    cov.used_in.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+fn touches_field(toks: &[Tok], field: &str) -> bool {
+    (0..toks.len().saturating_sub(1)).any(|k| toks[k].is_punct(".") && toks[k + 1].is_ident(field))
+}
+
+// -------------------------------------------------------------------- L005
+
+pub struct Fingerprint {
+    pub version: Option<u64>,
+    pub hash: u64,
+    pub canonical: String,
+}
+
+/// Compute the structural fingerprint of the packed trace format: the
+/// ordered `PackedOp` field names + types, every numeric constant in the
+/// codec (kind tags, encoding bases), and the trace format version.
+pub fn compute_fingerprint(ws: &Workspace, cfg: &LintConfig) -> Result<Fingerprint, String> {
+    let tf = &cfg.trace_format;
+    let packed = ws
+        .file(&tf.packed_file)
+        .ok_or_else(|| format!("trace_format packed_file `{}` not found", tf.packed_file))?;
+    let fields = lexer::struct_fields(&packed.toks, &tf.struct_name).ok_or_else(|| {
+        format!(
+            "struct `{}` not found in `{}`",
+            tf.struct_name, tf.packed_file
+        )
+    })?;
+    let codec = ws
+        .file(&tf.codec_file)
+        .ok_or_else(|| format!("trace_format codec_file `{}` not found", tf.codec_file))?;
+    let mut consts = lexer::numeric_consts(&codec.toks);
+    consts.sort();
+    let mut canonical = format!("struct {}{{", tf.struct_name);
+    for f in &fields {
+        canonical.push_str(&format!("{}:{};", f.name, f.ty));
+    }
+    canonical.push('}');
+    for (name, value, _) in &consts {
+        canonical.push_str(&format!("|{name}={value}"));
+    }
+    let version = consts
+        .iter()
+        .find(|(name, _, _)| name == &tf.version_const)
+        .and_then(|(_, value, _)| parse_int(value));
+    Ok(Fingerprint {
+        version,
+        hash: fnv1a64(canonical.as_bytes()),
+        canonical,
+    })
+}
+
+fn parse_int(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let digits: String = cleaned.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn trace_format(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let tf = &cfg.trace_format;
+    if tf.packed_file.is_empty() {
+        return;
+    }
+    let fp = match compute_fingerprint(ws, cfg) {
+        Ok(fp) => fp,
+        Err(e) => {
+            out.push(finding(&tf.packed_file, 0, "L005", e));
+            return;
+        }
+    };
+    let version_line = ws
+        .file(&tf.codec_file)
+        .map(|fd| {
+            lexer::numeric_consts(&fd.toks)
+                .iter()
+                .find(|(name, _, _)| name == &tf.version_const)
+                .map(|(_, _, line)| *line)
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    let Some(version) = fp.version else {
+        out.push(finding(
+            &tf.codec_file,
+            0,
+            "L005",
+            format!(
+                "version constant `{}` not found in codec file",
+                tf.version_const
+            ),
+        ));
+        return;
+    };
+    let record_path = ws.root.join(&tf.record);
+    let recorded = std::fs::read_to_string(&record_path)
+        .ok()
+        .and_then(|t| parse_record(&t));
+    let Some((rec_version, rec_hash)) = recorded else {
+        out.push(finding(
+            &tf.codec_file,
+            version_line,
+            "L005",
+            format!(
+                "no recorded trace-format fingerprint at `{}` — run `aurora-lint --fingerprint` \
+                 and commit the output there",
+                tf.record
+            ),
+        ));
+        return;
+    };
+    match (fp.hash == rec_hash, version == rec_version) {
+        (true, true) => {}
+        (false, true) => out.push(finding(
+            &tf.packed_file,
+            struct_line(ws, tf),
+            "L005",
+            format!(
+                "trace format drift: the structural fingerprint changed \
+                 (recorded {rec_hash:#018x}, computed {:#018x}) but `{}` is still {version} — \
+                 bump the version and re-record with `aurora-lint --fingerprint`",
+                fp.hash, tf.version_const
+            ),
+        )),
+        (false, false) => out.push(finding(
+            &tf.packed_file,
+            struct_line(ws, tf),
+            "L005",
+            format!(
+                "trace format changed and the version was bumped to {version} — acknowledge the \
+                 new layout by re-recording `{}` with `aurora-lint --fingerprint`",
+                tf.record
+            ),
+        )),
+        (true, false) => out.push(finding(
+            &tf.codec_file,
+            version_line,
+            "L005",
+            format!(
+                "`{}` is {version} but the recorded fingerprint says {rec_version} with an \
+                 identical layout — re-record `{}` or revert the version change",
+                tf.version_const, tf.record
+            ),
+        )),
+    }
+}
+
+fn struct_line(ws: &Workspace, tf: &crate::config::TraceFormat) -> u32 {
+    ws.file(&tf.packed_file)
+        .map(|fd| {
+            let toks = &fd.toks;
+            (0..toks.len().saturating_sub(1))
+                .find(|&k| toks[k].is_ident("struct") && toks[k + 1].is_ident(&tf.struct_name))
+                .map(|k| toks[k].line)
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+/// Parse a recorded fingerprint file: `version = N` and
+/// `fingerprint = 0x<16 hex digits>` lines (order-independent).
+pub fn parse_record(text: &str) -> Option<(u64, u64)> {
+    let mut version = None;
+    let mut hash = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(v) = line.strip_prefix("version") {
+            version = v
+                .trim()
+                .strip_prefix('=')
+                .and_then(|s| s.trim().parse().ok());
+        } else if let Some(v) = line.strip_prefix("fingerprint") {
+            hash = v
+                .trim()
+                .strip_prefix('=')
+                .map(str::trim)
+                .and_then(|s| s.strip_prefix("0x"))
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+        }
+    }
+    Some((version?, hash?))
+}
+
+// -------------------------------------------------------------------- L006
+
+fn narrowing_casts(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for file in &cfg.narrowing_files {
+        let Some(fd) = ws.file(file) else {
+            out.push(finding(
+                file,
+                0,
+                "L006",
+                "narrowing-cast file declared in lint.toml was not found".to_string(),
+            ));
+            continue;
+        };
+        let toks = &fd.toks;
+        for k in 0..toks.len().saturating_sub(1) {
+            if toks[k].is_ident("as") && NARROW_TARGETS.contains(&toks[k + 1].text.as_str()) {
+                out.push(finding(
+                    &fd.rel,
+                    toks[k].line,
+                    "L006",
+                    format!(
+                        "unchecked narrowing cast `as {}` in trace codec — use `try_from` or a \
+                         masked helper, or suppress with a range justification",
+                        toks[k + 1].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- explain
+
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "L000",
+        "malformed suppression pragma",
+        "Every `lint:allow(L0xx): <reason>` comment pragma must name at least one rule id of the \
+         form L0xx and carry a non-empty reason after `):`. A pragma without a reason is \
+         itself a finding: unexplained suppressions rot just like dead counters. Malformed \
+         pragmas never suppress anything.",
+    ),
+    (
+        "L001",
+        "allocation in a hot-path function",
+        "The simulator's per-op loop must stay allocation-free: `clone()`, `to_vec()`, \
+         `format!`, `vec!`, stable sorts, heap collections (HashMap & friends) and \
+         `Vec::new`-style constructors are banned inside the functions listed in \
+         lint.toml's [[hot]] sections. Amortized growth of capacity-stable buffers \
+         (`push` onto a Vec that reaches steady state) is deliberately out of scope. \
+         Suppress only with a reason explaining why the allocation is bounded.",
+    ),
+    (
+        "L002",
+        "panic path in a hot-path function",
+        "`unwrap()`, `expect()`, `panic!`-family macros and slice indexing without `get` \
+         are banned in hot functions. The release profile uses panic=abort, so any of \
+         these turns a model bug into a lost sweep. Convert to an infallible pattern \
+         (`if let`, `get().copied().unwrap_or(..)`) or, where the invariant is real and \
+         locally provable, add `// lint:allow(L002): <why it cannot fire>`.",
+    ),
+    (
+        "L003",
+        "dead counter",
+        "Every pub field of the stats structs (SimStats and the per-unit stats structs it \
+         aggregates) must be read somewhere outside its defining file — a report, a golden \
+         table, or a test. A counter that is accumulated but never consumed is model drift \
+         waiting to happen: it silently stops meaning what its name says. Reads are any \
+         `.field` use that is not a plain or compound assignment target.",
+    ),
+    (
+        "L004",
+        "unexercised config knob",
+        "Every pub field of MachineConfig must be referenced by aurora-bench's sweep/report \
+         code. A knob nothing sweeps or prints is a knob whose effect on the model is \
+         unvalidated — exactly the silent-drift failure mode the gem5 methodology papers \
+         warn about. Setting a knob in a sweep counts as exercising it.",
+    ),
+    (
+        "L005",
+        "trace format drift without a version bump",
+        "The 16-byte PackedOp layout and the codec constants are hashed into a structural \
+         fingerprint recorded next to TRACE_FORMAT_VERSION (crates/isa/trace_format.fp). \
+         Captured traces outlive the code that wrote them, so any layout change must bump \
+         the version and re-record the fingerprint (`aurora-lint --fingerprint`). A hash \
+         mismatch with an unchanged version fails the build.",
+    ),
+    (
+        "L006",
+        "unchecked narrowing cast in the trace codec",
+        "`as u8`/`as u32`-style casts silently truncate. In codec.rs/packed.rs — the one \
+         place where in-memory ops are bit-packed into the 16-byte record — a silent \
+         truncation corrupts every replay of a captured trace. Use `try_from`, a masked \
+         helper with a debug_assert, or suppress with a justification of the value range.",
+    ),
+];
+
+pub fn explain(rule: &str) -> Option<String> {
+    RULES
+        .iter()
+        .find(|(id, _, _)| *id == rule)
+        .map(|(id, title, body)| format!("{id}: {title}\n\n{body}\n"))
+}

@@ -1,0 +1,5 @@
+//! The L004 sweep scope: setting a knob counts as exercising it.
+
+pub fn sweep(cfg: &mut Config) {
+    cfg.used_knob = 7;
+}

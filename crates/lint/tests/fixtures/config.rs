@@ -1,0 +1,7 @@
+//! L004 fixture: every pub knob of `Config` must be referenced under
+//! `bench/` (the fixture's used_in scope).
+
+pub struct Config {
+    pub used_knob: u32,
+    pub unused_knob: u32, // FIRE: L004 (no sweep or report touches it)
+}

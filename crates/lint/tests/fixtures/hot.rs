@@ -1,0 +1,25 @@
+//! L001/L002 fixture: `hot_fn` is listed in the fixture lint.toml's
+//! [[hot]] section, so every marked line below must produce a finding.
+//! `suppressed_fn` demonstrates that a reasoned pragma suppresses, and
+//! the reasonless pragma above `harmless` is itself an L000 finding.
+
+pub fn hot_fn(xs: &[u64], i: usize) -> u64 {
+    let v: Vec<u64> = Vec::new(); // FIRE: L001 (Vec::new constructor)
+    let s = format!("{i}"); // FIRE: L001 (format! allocates)
+    let m = std::collections::HashMap::new(); // FIRE: L001 (heap collection)
+    let first = xs.first().unwrap(); // FIRE: L002 (unwrap can panic)
+    let direct = xs[i]; // FIRE: L002 (slice index without get)
+    let _ = (v, s, m);
+    *first + direct
+}
+
+pub fn suppressed_fn(xs: &[u64]) -> u64 {
+    // lint:allow(L002): fixture — demonstrates a reasoned suppression
+    let first = xs.first().unwrap();
+    *first
+}
+
+// lint:allow(L001) // FIRE: L000 (pragma missing its mandatory reason)
+pub fn harmless() -> u64 {
+    0
+}

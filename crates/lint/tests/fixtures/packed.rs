@@ -1,0 +1,8 @@
+//! L005 fixture: the recorded fingerprint in `trace_format.fp` is
+//! deliberately stale while `TRACE_FORMAT_VERSION` in codec.rs is
+//! unchanged, so the drift arm fires, anchored at the struct below.
+
+pub struct PackedOp { // FIRE: L005 (layout drift without a version bump)
+    pub a: u32,
+    pub b: u16,
+}

@@ -1,0 +1,10 @@
+//! The L003 read scope: consumes the live counters of `Stats`. Writing
+//! a field (`accumulate` below) does not count as a read.
+
+pub fn report(s: &Stats) -> u64 {
+    s.read_me + s.sub.sub_read
+}
+
+pub fn accumulate(s: &mut Stats) {
+    s.dead_counter += 1;
+}

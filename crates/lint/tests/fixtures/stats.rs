@@ -1,0 +1,14 @@
+//! L003 fixture: `Stats` is the root stats struct; `reader.rs` is the
+//! read scope. Fields never read there are dead counters, including in
+//! the recursively resolved `SubStats`.
+
+pub struct Stats {
+    pub read_me: u64,
+    pub dead_counter: u64, // FIRE: L003 (accumulated, never consumed)
+    pub sub: SubStats,
+}
+
+pub struct SubStats {
+    pub sub_read: u64,
+    pub sub_dead: u64, // FIRE: L003 (dead in a nested stats struct)
+}

@@ -1,0 +1,5 @@
+# Deliberately stale record: the hash below cannot match the computed
+# fingerprint of packed.rs/codec.rs, while `version` still equals
+# TRACE_FORMAT_VERSION — so the self-test sees L005's drift arm fire.
+version = 1
+fingerprint = 0x0123456789abcdef

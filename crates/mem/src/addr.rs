@@ -56,8 +56,14 @@ impl Geometry {
     /// Panics unless both sizes are powers of two and
     /// `size_bytes >= line_bytes`.
     pub fn new(size_bytes: u32, line_bytes: u32) -> Geometry {
-        assert!(size_bytes.is_power_of_two(), "size {size_bytes} not a power of two");
-        assert!(line_bytes.is_power_of_two(), "line {line_bytes} not a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "size {size_bytes} not a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line {line_bytes} not a power of two"
+        );
         assert!(size_bytes >= line_bytes);
         Geometry {
             size_bytes,

@@ -66,7 +66,11 @@ impl LatencyModel {
         match *self {
             LatencyModel::Fixed(l) => l as f64,
             LatencyModel::Uniform { lo, hi } => (lo as f64 + hi as f64) / 2.0,
-            LatencyModel::Bimodal { hit, miss, hit_permille } => {
+            LatencyModel::Bimodal {
+                hit,
+                miss,
+                hit_permille,
+            } => {
                 let p = f64::from(hit_permille) / 1000.0;
                 p * f64::from(hit) + (1.0 - p) * f64::from(miss)
             }
@@ -77,7 +81,11 @@ impl LatencyModel {
         match *self {
             LatencyModel::Fixed(l) => l,
             LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
-            LatencyModel::Bimodal { hit, miss, hit_permille } => {
+            LatencyModel::Bimodal {
+                hit,
+                miss,
+                hit_permille,
+            } => {
                 if rng.gen_range(0..1000) < u32::from(hit_permille) {
                     hit
                 } else {
@@ -283,7 +291,7 @@ mod tests {
         let mut biu = fixed_biu();
         let wb = biu.request(0, TransferKind::WriteBack);
         assert_eq!(wb, 9); // 1 + 8 line cycles, no memory latency charged
-        // A fill right after must wait for the transmit bus.
+                           // A fill right after must wait for the transmit bus.
         let fill = biu.request(0, TransferKind::DataFill);
         assert_eq!(fill, 9 + 1 + 17 + 8);
     }
@@ -317,7 +325,11 @@ mod tests {
     #[test]
     fn bimodal_latency_mixes() {
         // 70% page hits at 11 cycles, 30% misses at 31: mean 17.
-        let model = LatencyModel::Bimodal { hit: 11, miss: 31, hit_permille: 700 };
+        let model = LatencyModel::Bimodal {
+            hit: 11,
+            miss: 31,
+            hit_permille: 700,
+        };
         assert!((model.mean() - 17.0).abs() < 1e-9);
         let mut biu = Biu::new(model, 32, 3);
         let mut seen_hit = false;

@@ -58,7 +58,11 @@ pub struct DirectMappedCache {
 impl DirectMappedCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(geom: Geometry) -> DirectMappedCache {
-        DirectMappedCache { geom, tags: vec![None; geom.num_lines() as usize], stats: CacheStats::default() }
+        DirectMappedCache {
+            geom,
+            tags: vec![None; geom.num_lines() as usize],
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -80,7 +84,7 @@ impl DirectMappedCache {
 
     /// Whether the line holding `addr` is resident (no stats recorded).
     pub fn contains(&self, addr: u64) -> bool {
-        self.tags[self.geom.index(addr)] == Some(self.geom.tag(addr))
+        self.tags.get(self.geom.index(addr)).copied().flatten() == Some(self.geom.tag(addr))
     }
 
     /// Whether `line` is resident (no stats recorded).
@@ -94,11 +98,15 @@ impl DirectMappedCache {
     pub fn fill(&mut self, addr: u64) -> bool {
         let idx = self.geom.index(addr);
         let tag = self.geom.tag(addr);
-        let evicted = matches!(self.tags[idx], Some(t) if t != tag);
+        // The geometry masks indices into range, so the slot always exists.
+        let Some(slot) = self.tags.get_mut(idx) else {
+            return false;
+        };
+        let evicted = matches!(*slot, Some(t) if t != tag);
         if evicted {
             self.stats.evictions += 1;
         }
-        self.tags[idx] = Some(tag);
+        *slot = Some(tag);
         evicted
     }
 

@@ -70,8 +70,7 @@ impl DecodedICache {
     /// lower of two consecutive word addresses (§2, Figure 3).
     fn slot(&self, pc: u64) -> usize {
         let geom = self.cache.geometry();
-        geom.index(pc) * self.pairs_per_line
-            + ((pc >> 3) as usize & (self.pairs_per_line - 1))
+        geom.index(pc) * self.pairs_per_line + ((pc >> 3) as usize & (self.pairs_per_line - 1))
     }
 
     /// The underlying geometry.
@@ -95,7 +94,9 @@ impl DecodedICache {
     pub fn fill(&mut self, pc: u64) -> bool {
         if !self.cache.contains(pc) {
             let base = self.cache.geometry().index(pc) * self.pairs_per_line;
-            self.pairs[base..base + self.pairs_per_line].fill(None);
+            if let Some(slots) = self.pairs.get_mut(base..base + self.pairs_per_line) {
+                slots.fill(None);
+            }
         }
         self.cache.fill(pc)
     }
@@ -103,14 +104,16 @@ impl DecodedICache {
     /// Records pre-decode information for the pair containing `pc`.
     pub fn record_pair(&mut self, pc: u64, info: PairInfo) {
         let slot = self.slot(pc);
-        self.pairs[slot] = Some(info);
+        if let Some(entry) = self.pairs.get_mut(slot) {
+            *entry = Some(info);
+        }
     }
 
     /// Pre-decode info for the pair containing `pc`, if the resident line's
     /// pair has been decoded. Only meaningful when
     /// [`DecodedICache::contains`] holds.
     pub fn pair_info(&self, pc: u64) -> Option<PairInfo> {
-        self.pairs[self.slot(pc)]
+        self.pairs.get(self.slot(pc)).copied().flatten()
     }
 
     /// Whether a taken control transfer from the pair at `branch_pc` can be
@@ -145,7 +148,13 @@ mod tests {
     #[test]
     fn pair_identity_is_eight_bytes() {
         let mut ic = icache();
-        ic.record_pair(0x100, PairInfo { dual_issue_inhibit: true, ..Default::default() });
+        ic.record_pair(
+            0x100,
+            PairInfo {
+                dual_issue_inhibit: true,
+                ..Default::default()
+            },
+        );
         // Both the EVEN (0x100) and ODD (0x104) member see the same info.
         assert!(ic.pair_info(0x104).unwrap().dual_issue_inhibit);
         assert!(ic.pair_info(0x108).is_none());
@@ -155,11 +164,14 @@ mod tests {
     fn folding_requires_matching_target_and_residency() {
         let mut ic = icache();
         ic.fill(0x100);
-        ic.record_pair(0x100, PairInfo {
-            has_control_flow: true,
-            folded_target: Some(0x800),
-            ..Default::default()
-        });
+        ic.record_pair(
+            0x100,
+            PairInfo {
+                has_control_flow: true,
+                folded_target: Some(0x800),
+                ..Default::default()
+            },
+        );
         // Target line not resident: no folding.
         assert!(!ic.can_fold(0x100, 0x800));
         ic.fill(0x800);
@@ -168,7 +180,13 @@ mod tests {
         assert!(!ic.can_fold(0x100, 0x900));
         // Pair without a NEXT field: no folding.
         ic.fill(0x200);
-        ic.record_pair(0x200, PairInfo { has_control_flow: true, ..Default::default() });
+        ic.record_pair(
+            0x200,
+            PairInfo {
+                has_control_flow: true,
+                ..Default::default()
+            },
+        );
         assert!(!ic.can_fold(0x200, 0x800));
     }
 
@@ -176,7 +194,13 @@ mod tests {
     fn predecode_invalidated_on_replacement() {
         let mut ic = icache();
         ic.fill(0x0);
-        ic.record_pair(0x0, PairInfo { has_control_flow: true, ..Default::default() });
+        ic.record_pair(
+            0x0,
+            PairInfo {
+                has_control_flow: true,
+                ..Default::default()
+            },
+        );
         assert!(ic.pair_info(0x0).unwrap().has_control_flow);
         ic.fill(1024); // evicts line 0 (1 KB cache): pre-decode leaves with it
         assert!(!ic.contains(0x0));
@@ -185,7 +209,13 @@ mod tests {
         ic.fill(0x0);
         assert!(ic.pair_info(0x0).is_none());
         // Re-filling a line that is already resident keeps its pre-decode.
-        ic.record_pair(0x0, PairInfo { has_control_flow: true, ..Default::default() });
+        ic.record_pair(
+            0x0,
+            PairInfo {
+                has_control_flow: true,
+                ..Default::default()
+            },
+        );
         ic.fill(0x0);
         assert!(ic.pair_info(0x0).unwrap().has_control_flow);
     }

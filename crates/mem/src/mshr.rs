@@ -105,7 +105,10 @@ impl MshrFile {
     /// no merge is counted. This is the issue-stage peek — "could this op
     /// ride an outstanding fill?" — asked before the op actually issues.
     pub fn probe(&self, line: LineAddr) -> Option<u64> {
-        self.entries.iter().find(|e| e.line == line).map(|e| e.ready_at)
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.ready_at)
     }
 
     /// Tries to allocate a register for a primary miss on `line` whose
@@ -130,8 +133,12 @@ impl MshrFile {
             return;
         }
         self.entries.retain(|e| e.ready_at > now);
-        self.next_ready =
-            self.entries.iter().map(|e| e.ready_at).min().unwrap_or(u64::MAX);
+        self.next_ready = self
+            .entries
+            .iter()
+            .map(|e| e.ready_at)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// The earliest cycle at which any entry completes, if any are live.

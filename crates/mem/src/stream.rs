@@ -193,7 +193,10 @@ impl StreamBuffers {
         let clock = self.clock;
         let victim = self.next_victim;
         self.next_victim = (self.next_victim + 1) % self.buffers.len();
-        let buf = &mut self.buffers[victim];
+        // The modulo above keeps the round-robin cursor in range.
+        let Some(buf) = self.buffers.get_mut(victim) else {
+            return;
+        };
         buf.slots.clear();
         buf.deepened = false;
         buf.last_used = clock;
@@ -263,7 +266,10 @@ mod tests {
         sb.allocate(LineAddr(100), 0, issue_at(10));
         assert_eq!(sb.stats().prefetches_issued, 1);
         // Line 101 is buffered; 102 is not (not yet deepened).
-        assert!(matches!(sb.probe(LineAddr(101), 20), StreamProbe::Hit { ready_at: 10 }));
+        assert!(matches!(
+            sb.probe(LineAddr(101), 20),
+            StreamProbe::Hit { ready_at: 10 }
+        ));
         assert_eq!(sb.probe(LineAddr(102), 20), StreamProbe::Miss);
     }
 
@@ -271,7 +277,10 @@ mod tests {
     fn hit_then_deepen_fills_buffer() {
         let mut sb = StreamBuffers::new(1, 4);
         sb.allocate(LineAddr(100), 0, issue_at(5));
-        assert!(matches!(sb.probe(LineAddr(101), 6), StreamProbe::Hit { .. }));
+        assert!(matches!(
+            sb.probe(LineAddr(101), 6),
+            StreamProbe::Hit { .. }
+        ));
         sb.deepen(issue_at(30));
         // 102, 103, 104, 105 now queued (4 deep).
         assert_eq!(sb.stats().prefetches_issued, 5);
@@ -300,14 +309,23 @@ mod tests {
         let mut sb = StreamBuffers::new(2, 2);
         sb.allocate(LineAddr(100), 0, issue_at(1)); // buffer 0: stream A
         sb.allocate(LineAddr(200), 0, issue_at(1)); // buffer 1: stream B
-        // A third stream reclaims buffer 0 even though A just hit — the
-        // thrashing behaviour of §5.2.
-        assert!(matches!(sb.probe(LineAddr(101), 5), StreamProbe::Hit { .. }));
+                                                    // A third stream reclaims buffer 0 even though A just hit — the
+                                                    // thrashing behaviour of §5.2.
+        assert!(matches!(
+            sb.probe(LineAddr(101), 5),
+            StreamProbe::Hit { .. }
+        ));
         sb.allocate(LineAddr(300), 0, issue_at(1)); // replaces A's buffer
         sb.allocate(LineAddr(400), 0, issue_at(1)); // replaces B
         assert_eq!(sb.probe(LineAddr(201), 10), StreamProbe::Miss);
-        assert!(matches!(sb.probe(LineAddr(301), 10), StreamProbe::Hit { .. }));
-        assert!(matches!(sb.probe(LineAddr(401), 10), StreamProbe::Hit { .. }));
+        assert!(matches!(
+            sb.probe(LineAddr(301), 10),
+            StreamProbe::Hit { .. }
+        ));
+        assert!(matches!(
+            sb.probe(LineAddr(401), 10),
+            StreamProbe::Hit { .. }
+        ));
     }
 
     #[test]

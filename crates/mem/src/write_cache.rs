@@ -165,25 +165,41 @@ impl WriteCache {
             existing.word_mask |= mask;
             existing.last_used = self.clock;
             self.stats.store_hits += 1;
-            return StoreOutcome { hit: true, evicted: None, needs_validation: !validated };
+            return StoreOutcome {
+                hit: true,
+                evicted: None,
+                needs_validation: !validated,
+            };
         }
 
         let evicted = if self.lines.len() == self.capacity {
+            // At capacity the line vector is non-empty (capacity >= 1), so
+            // an LRU victim always exists.
             let lru = self
                 .lines
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity > 0");
-            let victim = self.lines.remove(lru);
-            self.stats.store_transactions += 1;
-            Some(victim.line)
+                .map(|(i, _)| i);
+            lru.map(|i| {
+                let victim = self.lines.remove(i);
+                self.stats.store_transactions += 1;
+                victim.line
+            })
         } else {
             None
         };
-        self.lines.push(Line { line, page, word_mask: mask, last_used: self.clock });
-        StoreOutcome { hit: false, evicted, needs_validation: !validated }
+        self.lines.push(Line {
+            line,
+            page,
+            word_mask: mask,
+            last_used: self.clock,
+        });
+        StoreOutcome {
+            hit: false,
+            evicted,
+            needs_validation: !validated,
+        }
     }
 
     /// Probes a load of `bytes` bytes at `addr`; hits when every word it

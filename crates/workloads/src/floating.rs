@@ -58,13 +58,21 @@ fn expand_single_word(src: &str) -> String {
             None => (rest, ""),
         };
         let (freg, mem) = operands.split_once(',').expect("fp mem operands");
-        let n: u8 = freg.trim().trim_start_matches("$f").parse().expect("fp register");
+        let n: u8 = freg
+            .trim()
+            .trim_start_matches("$f")
+            .parse()
+            .expect("fp register");
         let mem = mem.trim();
         let open = mem.find('(').expect("mem operand");
         let off: i64 = mem[..open].parse().expect("offset");
         let base = &mem[open..];
         out.push_str(&format!("{indent}{word_op} $f{n}, {off}{base} {comment}\n"));
-        out.push_str(&format!("{indent}{word_op} $f{}, {}{base}\n", n + 1, off + 4));
+        out.push_str(&format!(
+            "{indent}{word_op} $f{}, {}{base}\n",
+            n + 1,
+            off + 4
+        ));
     }
     out
 }
@@ -786,15 +794,21 @@ mod tests {
             let fp = s.fp_fraction();
             assert!(fp > 0.08, "{b}: fp fraction {fp:.3} too low");
             assert!(s.fp_loads > 0, "{b} must load FP data");
-            assert!(s.fp_stores > 0 || b == FpBenchmark::Doduc || b == FpBenchmark::Ora,
-                "{b} should store FP data");
+            assert!(
+                s.fp_stores > 0 || b == FpBenchmark::Doduc || b == FpBenchmark::Ora,
+                "{b} should store FP data"
+            );
         }
     }
 
     #[test]
     fn ora_uses_sqrt_and_divide() {
         let trace = FpBenchmark::Ora.workload(Scale::Test).trace().unwrap();
-        let sqrts = trace.ops.iter().filter(|o| o.kind == OpKind::FpSqrt).count();
+        let sqrts = trace
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::FpSqrt)
+            .count();
         let divs = trace.ops.iter().filter(|o| o.kind == OpKind::FpDiv).count();
         assert!(sqrts > 500, "sqrts {sqrts}");
         assert!(divs > 500, "divs {divs}");
@@ -820,7 +834,11 @@ mod tests {
             .take(64)
             .collect();
         let distinct: std::collections::HashSet<_> = adds.iter().map(|o| o.dst).collect();
-        assert!(distinct.len() <= 2, "alvinn accumulators: {}", distinct.len());
+        assert!(
+            distinct.len() <= 2,
+            "alvinn accumulators: {}",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -148,7 +148,13 @@ fn espresso(scale: Scale) -> String {
     let mut perm_words = String::new();
     for chunk in perm.chunks(12) {
         perm_words.push_str("  .word ");
-        perm_words.push_str(&chunk.iter().map(u32::to_string).collect::<Vec<_>>().join(", "));
+        perm_words.push_str(
+            &chunk
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
         perm_words.push('\n');
     }
 
@@ -462,7 +468,13 @@ fn eqntott(scale: Scale) -> String {
     let mut perm_words = String::new();
     for chunk in perm.chunks(12) {
         perm_words.push_str("  .word ");
-        perm_words.push_str(&chunk.iter().map(u32::to_string).collect::<Vec<_>>().join(", "));
+        perm_words.push_str(
+            &chunk
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
         perm_words.push('\n');
     }
 
@@ -818,8 +830,16 @@ fn gcc(scale: Scale) -> String {
     let mut tree = String::new();
     for i in 0..tree_nodes {
         let val = rng.gen_range(0..0x8000u32);
-        let l = if 2 * i + 1 < tree_nodes { (2 * i + 1) as u32 } else { 0 };
-        let r = if 2 * i + 2 < tree_nodes { (2 * i + 2) as u32 } else { 0 };
+        let l = if 2 * i + 1 < tree_nodes {
+            (2 * i + 1) as u32
+        } else {
+            0
+        };
+        let r = if 2 * i + 2 < tree_nodes {
+            (2 * i + 2) as u32
+        } else {
+            0
+        };
         tree.push_str(&format!("  .word {val}, {l}, {r}, 0\n"));
     }
     // Generated leaf functions with distinct bodies, reached via jalr,
@@ -1085,20 +1105,30 @@ mod tests {
 
     #[test]
     fn compress_misses_spread_over_table() {
-        let trace = IntBenchmark::Compress.workload(Scale::Test).trace().unwrap();
+        let trace = IntBenchmark::Compress
+            .workload(Scale::Test)
+            .trace()
+            .unwrap();
         let mut lines = std::collections::HashSet::new();
         for op in &trace.ops {
             if let OpKind::Load { ea, .. } = op.kind {
                 lines.insert(ea / 32);
             }
         }
-        assert!(lines.len() > 1000, "hash probes should span many lines: {}", lines.len());
+        assert!(
+            lines.len() > 1000,
+            "hash probes should span many lines: {}",
+            lines.len()
+        );
     }
 
     #[test]
     fn scale_increases_length() {
         let t = IntBenchmark::Eqntott.workload(Scale::Test).trace().unwrap();
-        let s = IntBenchmark::Eqntott.workload(Scale::Small).trace().unwrap();
+        let s = IntBenchmark::Eqntott
+            .workload(Scale::Small)
+            .trace()
+            .unwrap();
         assert!(s.stats.total > 3 * t.stats.total);
     }
 

@@ -51,7 +51,10 @@ impl TraceStore {
     /// A store that also persists captures under `dir` (created on first
     /// write if missing).
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> TraceStore {
-        TraceStore { cache_dir: Some(dir.into()), ..TraceStore::default() }
+        TraceStore {
+            cache_dir: Some(dir.into()),
+            ..TraceStore::default()
+        }
     }
 
     /// The process-wide store used by the benchmark harness.
@@ -194,8 +197,9 @@ mod tests {
         let store = TraceStore::new();
         let w = test_workload();
         std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                (0..4).map(|_| scope.spawn(|| store.get(&w).unwrap().len())).collect();
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| store.get(&w).unwrap().len()))
+                .collect();
             let lens: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
             assert!(lens.windows(2).all(|w| w[0] == w[1]));
         });

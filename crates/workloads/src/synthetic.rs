@@ -68,7 +68,8 @@ impl SyntheticConfig {
     ///
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
-        let sum = self.load_fraction + self.store_fraction + self.branch_fraction + self.fp_fraction;
+        let sum =
+            self.load_fraction + self.store_fraction + self.branch_fraction + self.fp_fraction;
         if !(0.0..=1.0).contains(&sum) {
             return Err(format!("kind fractions sum to {sum}, must be <= 1"));
         }
@@ -97,7 +98,8 @@ impl SyntheticConfig {
     /// Panics if the configuration is invalid (see
     /// [`SyntheticConfig::validate`]).
     pub fn generate(&self) -> Generator {
-        self.validate().unwrap_or_else(|e| panic!("invalid synthetic config: {e}"));
+        self.validate()
+            .unwrap_or_else(|e| panic!("invalid synthetic config: {e}"));
         Generator {
             cfg: self.clone(),
             rng: SmallRng::seed_from_u64(self.seed),
@@ -194,7 +196,10 @@ impl Iterator for Generator {
             self.last_dst = Some(dst);
             TraceOp {
                 pc,
-                kind: OpKind::Load { ea, width: MemWidth::Word },
+                kind: OpKind::Load {
+                    ea,
+                    width: MemWidth::Word,
+                },
                 dst: Some(dst),
                 src1: Some(src),
                 src2: None,
@@ -206,7 +211,10 @@ impl Iterator for Generator {
             self.last_dst = None;
             TraceOp {
                 pc,
-                kind: OpKind::Store { ea, width: MemWidth::Word },
+                kind: OpKind::Store {
+                    ea,
+                    width: MemWidth::Word,
+                },
                 dst: None,
                 src1: Some(s1),
                 src2: Some(s2),
@@ -250,7 +258,13 @@ impl Iterator for Generator {
             let s1 = self.pick_src();
             let s2 = self.pick_src();
             self.last_dst = Some(dst);
-            TraceOp { pc, kind: OpKind::IntAlu, dst: Some(dst), src1: Some(s1), src2: Some(s2) }
+            TraceOp {
+                pc,
+                kind: OpKind::IntAlu,
+                dst: Some(dst),
+                src1: Some(s1),
+                src2: Some(s2),
+            }
         };
         // Note: the synthetic stream does not model delay slots — branch
         // redirects take effect on the next instruction. The simulator's
@@ -298,7 +312,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = SyntheticConfig { instructions: 1_000, ..Default::default() };
+        let cfg = SyntheticConfig {
+            instructions: 1_000,
+            ..Default::default()
+        };
         assert_eq!(cfg.collect(), cfg.collect());
         let other = SyntheticConfig { seed: 1, ..cfg };
         assert_ne!(other.collect(), cfg.collect());
@@ -306,7 +323,11 @@ mod tests {
 
     #[test]
     fn code_footprint_bounds_pcs() {
-        let cfg = SyntheticConfig { instructions: 10_000, code_footprint: 1024, ..Default::default() };
+        let cfg = SyntheticConfig {
+            instructions: 10_000,
+            code_footprint: 1024,
+            ..Default::default()
+        };
         for op in cfg.generate() {
             assert!(op.pc >= TEXT_BASE && op.pc < TEXT_BASE + 1024);
             assert_eq!(op.pc % 4, 0);
@@ -329,17 +350,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let cfg = SyntheticConfig { load_fraction: 0.9, store_fraction: 0.9, ..Default::default() };
+        let cfg = SyntheticConfig {
+            load_fraction: 0.9,
+            store_fraction: 0.9,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = SyntheticConfig { branch_taken_prob: 1.5, ..Default::default() };
+        let cfg = SyntheticConfig {
+            branch_taken_prob: 1.5,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = SyntheticConfig { code_footprint: 6, ..Default::default() };
+        let cfg = SyntheticConfig {
+            code_footprint: 6,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn size_hint_is_exact() {
-        let cfg = SyntheticConfig { instructions: 123, ..Default::default() };
+        let cfg = SyntheticConfig {
+            instructions: 123,
+            ..Default::default()
+        };
         let gen = cfg.generate();
         assert_eq!(gen.size_hint(), (123, Some(123)));
         assert_eq!(gen.count(), 123);

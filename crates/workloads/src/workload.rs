@@ -112,7 +112,11 @@ pub struct Workload {
 impl Workload {
     /// Wraps an assembled program.
     pub(crate) fn new(name: &'static str, scale: Scale, program: Program) -> Workload {
-        Workload { name, scale, program }
+        Workload {
+            name,
+            scale,
+            program,
+        }
     }
 
     /// Assembles `source`, panicking with kernel context on failure

@@ -36,7 +36,12 @@ fn main() {
         cfg.fpu.add_latency = lat;
         let mut sim = Simulator::new(&cfg);
         workload.run_traced(|op| sim.feed(op)).expect("kernel runs");
-        println!("{:<12} {:.3}    {}", lat, sim.finish().cpi(), add_unit_cost(lat));
+        println!(
+            "{:<12} {:.3}    {}",
+            lat,
+            sim.finish().cpi(),
+            add_unit_cost(lat)
+        );
     }
 
     println!("\nmul latency  CPI      mul-unit area");
@@ -46,7 +51,12 @@ fn main() {
         cfg.fpu.mul_latency = lat;
         let mut sim = Simulator::new(&cfg);
         workload.run_traced(|op| sim.feed(op)).expect("kernel runs");
-        println!("{:<12} {:.3}    {}", lat, sim.finish().cpi(), multiply_unit_cost(lat));
+        println!(
+            "{:<12} {:.3}    {}",
+            lat,
+            sim.finish().cpi(),
+            multiply_unit_cost(lat)
+        );
     }
 
     let recommended = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));

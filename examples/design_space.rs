@@ -24,13 +24,20 @@ fn main() {
                 let mut sim = Simulator::new(&cfg);
                 workload.run_traced(|op| sim.feed(op)).expect("kernel runs");
                 let stats = sim.finish();
-                points.push((format!("{model}/{issue}/mshr{mshrs}"), ipu_cost(&cfg), stats.cpi()));
+                points.push((
+                    format!("{model}/{issue}/mshr{mshrs}"),
+                    ipu_cost(&cfg),
+                    stats.cpi(),
+                ));
             }
         }
     }
     points.sort_by_key(|a| a.1);
 
-    println!("{:<26} {:>10} {:>8}  frontier?", "config", "cost RBE", "CPI");
+    println!(
+        "{:<26} {:>10} {:>8}  frontier?",
+        "config", "cost RBE", "CPI"
+    );
     let mut best_cpi = f64::INFINITY;
     for (name, cost, cpi) in &points {
         // A point is on the efficient frontier if nothing cheaper beats it.

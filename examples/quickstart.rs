@@ -45,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for model in MachineModel::ALL {
         let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         let stats = simulate_program(&cfg, &program, 100_000)?;
-        println!("{:<10} {:>8} {:>8.3}", model.to_string(), stats.cycles, stats.cpi());
+        println!(
+            "{:<10} {:>8} {:>8.3}",
+            model.to_string(),
+            stats.cycles,
+            stats.cpi()
+        );
     }
     Ok(())
 }

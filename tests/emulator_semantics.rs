@@ -147,7 +147,11 @@ fn immediate_extension_rules() {
     // slti compares sign-extended; sltiu compares the sign-extended
     // immediate as unsigned.
     assert_eq!(run(Opcode::Slti, -5, -3), 1);
-    assert_eq!(run(Opcode::Sltiu, 5, -1), 1, "0xFFFFFFFF as unsigned is huge");
+    assert_eq!(
+        run(Opcode::Sltiu, 5, -1),
+        1,
+        "0xFFFFFFFF as unsigned is huge"
+    );
 }
 
 /// Variable shifts mask the shift amount to five bits, as on real MIPS.
@@ -156,7 +160,12 @@ fn variable_shifts_mask_amount() {
     let mut b = ProgramBuilder::new();
     b.load_imm(Reg::T0, 1);
     b.load_imm(Reg::T1, 33); // 33 & 31 == 1
-    b.push(Instruction::shift_v(Opcode::Sllv, Reg::T2, Reg::T0, Reg::T1));
+    b.push(Instruction::shift_v(
+        Opcode::Sllv,
+        Reg::T2,
+        Reg::T0,
+        Reg::T1,
+    ));
     b.push(Instruction::system(Opcode::Break));
     let p = b.build();
     let mut emu = Emulator::new(&p);

@@ -46,8 +46,14 @@ fn kind_from(sel: u8, payload: u32, aux: u8) -> OpKind {
         4 => OpKind::Store { ea: payload, width },
         5 => OpKind::FpLoad { ea: payload, width },
         6 => OpKind::FpStore { ea: payload, width },
-        7 => OpKind::Branch { taken: aux & 1 != 0, target: payload },
-        8 => OpKind::Jump { target: payload, register: aux & 1 != 0 },
+        7 => OpKind::Branch {
+            taken: aux & 1 != 0,
+            target: payload,
+        },
+        8 => OpKind::Jump {
+            target: payload,
+            register: aux & 1 != 0,
+        },
         9 => OpKind::FpAdd,
         10 => OpKind::FpMul,
         11 => OpKind::FpDiv,
@@ -115,9 +121,15 @@ proptest! {
 /// the clock jumps over quiescent regions or walks them cycle by cycle.
 #[test]
 fn all_kernels_agree_skip_vs_naive() {
-    let mut workloads: Vec<Workload> =
-        IntBenchmark::ALL.into_iter().map(|b| b.workload(Scale::Test)).collect();
-    workloads.extend(FpBenchmark::ALL.into_iter().map(|b| b.workload(Scale::Test)));
+    let mut workloads: Vec<Workload> = IntBenchmark::ALL
+        .into_iter()
+        .map(|b| b.workload(Scale::Test))
+        .collect();
+    workloads.extend(
+        FpBenchmark::ALL
+            .into_iter()
+            .map(|b| b.workload(Scale::Test)),
+    );
     assert_eq!(workloads.len(), 15);
     for w in &workloads {
         let trace = w.capture().expect("kernel captures");

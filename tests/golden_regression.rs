@@ -33,8 +33,16 @@ fn lookup(name: &str) -> (u64, u64, u64, u64) {
 #[test]
 fn integer_kernel_goldens() {
     for (name, model, issue) in [
-        ("eqntott-small-single", MachineModel::Small, IssueWidth::Single),
-        ("eqntott-base-dual", MachineModel::Baseline, IssueWidth::Dual),
+        (
+            "eqntott-small-single",
+            MachineModel::Small,
+            IssueWidth::Single,
+        ),
+        (
+            "eqntott-base-dual",
+            MachineModel::Baseline,
+            IssueWidth::Dual,
+        ),
         ("eqntott-large-dual", MachineModel::Large, IssueWidth::Dual),
     ] {
         let cfg = model.config(issue, LatencyModel::Fixed(17));
@@ -44,7 +52,11 @@ fn integer_kernel_goldens() {
         let s = sim.finish();
         let (cycles, instructions, ic_hits, ic_misses) = lookup(name);
         assert_eq!((s.cycles, s.instructions), (cycles, instructions), "{name}");
-        assert_eq!((s.icache.hits, s.icache.misses), (ic_hits, ic_misses), "{name} icache");
+        assert_eq!(
+            (s.icache.hits, s.icache.misses),
+            (ic_hits, ic_misses),
+            "{name} icache"
+        );
     }
 }
 
@@ -63,7 +75,10 @@ fn fp_kernel_golden() {
 #[test]
 fn synthetic_golden() {
     let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
-    let syn = SyntheticConfig { instructions: 20_000, ..Default::default() };
+    let syn = SyntheticConfig {
+        instructions: 20_000,
+        ..Default::default()
+    };
     let mut sim = Simulator::new(&cfg);
     for op in syn.generate() {
         sim.feed(op);

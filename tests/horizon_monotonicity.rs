@@ -1,0 +1,101 @@
+//! Regression guard for the event-horizon monotonicity invariant.
+//!
+//! `next_event_cycle()` reports the earliest cycle at which any unit can
+//! make progress. While the machine is quiescent — the clock unchanged
+//! and no instruction issued since the last call — repeated calls must
+//! never move the horizon *backward*: the skip loop trusts the horizon
+//! to jump the clock, and a backward step would either livelock the loop
+//! or skip work a unit had already promised.
+//!
+//! The simulator carries a debug-only probe (`horizon_probe` in
+//! `crates/core/src/sim.rs`) that `debug_assert!`s this on every call and
+//! is invalidated whenever an instruction issues. This test's job is to
+//! make that probe bite on a regression: it drives the simulator across
+//! every machine model, both issue widths, and resource-starved
+//! configurations whose long stall regions maximize quiescent
+//! `next_event_cycle()` traffic.
+//!
+//! The whole file is compiled out under `--release`: the probe it
+//! exercises only exists with `debug_assertions` on.
+#![cfg(debug_assertions)]
+
+use aurora3::core::{replay, IssueWidth, MachineConfig, MachineModel};
+use aurora3::mem::LatencyModel;
+use aurora3::workloads::{FpBenchmark, IntBenchmark, Scale, Workload};
+
+fn suite() -> Vec<Workload> {
+    let mut workloads: Vec<Workload> = IntBenchmark::ALL
+        .into_iter()
+        .map(|b| b.workload(Scale::Test))
+        .collect();
+    workloads.extend(
+        FpBenchmark::ALL
+            .into_iter()
+            .map(|b| b.workload(Scale::Test)),
+    );
+    workloads
+}
+
+/// Every model and issue width at both paper latencies: the horizon probe
+/// asserts monotonicity on every `next_event_cycle()` call along the way.
+#[test]
+fn horizon_never_moves_backward_across_models() {
+    for w in &suite() {
+        let trace = w.capture().expect("kernel captures");
+        for model in MachineModel::ALL {
+            for issue in [IssueWidth::Single, IssueWidth::Dual] {
+                for latency in [17u32, 35] {
+                    let cfg = model.config(issue, LatencyModel::Fixed(latency));
+                    let stats = replay(&cfg, &trace);
+                    assert!(stats.cycles > 0, "{} produced no cycles", w.name());
+                }
+            }
+        }
+    }
+}
+
+/// Resource starvation (1 MSHR, 1 write-cache line, 1 ROB entry, minimal
+/// FPU queues, long memory latency) maximizes time spent in quiescent
+/// stall regions, where the skip loop leans hardest on the horizon.
+#[test]
+fn horizon_monotonic_under_resource_starvation() {
+    let mut cfg: MachineConfig =
+        MachineModel::Small.config(IssueWidth::Dual, LatencyModel::Fixed(100));
+    cfg.mshr_entries = 1;
+    cfg.write_cache_lines = 1;
+    cfg.rob_entries = 1;
+    cfg.prefetch_buffers = 1;
+    cfg.prefetch_depth = 1;
+    cfg.fpu.instr_queue = 1;
+    cfg.fpu.load_queue = 1;
+    cfg.fpu.store_queue = 1;
+    cfg.fpu.rob_entries = 1;
+    cfg.fpu.result_busses = 1;
+    cfg.validate().expect("starved config is still valid");
+    for w in &suite() {
+        let trace = w.capture().expect("kernel captures");
+        let stats = replay(&cfg, &trace);
+        assert!(
+            stats.cycles >= stats.instructions,
+            "{} impossible CPI",
+            w.name()
+        );
+    }
+}
+
+/// A jittered (seeded-uniform) memory latency shuffles completion times
+/// relative to the fixed-latency runs, probing horizon ordering under a
+/// different event interleaving per seed.
+#[test]
+fn horizon_monotonic_with_latency_spread() {
+    for seed in [1u64, 42] {
+        let mut cfg = MachineModel::Baseline
+            .config(IssueWidth::Dual, LatencyModel::Uniform { lo: 9, hi: 25 });
+        cfg.seed = seed;
+        for w in &suite() {
+            let trace = w.capture().expect("kernel captures");
+            let stats = replay(&cfg, &trace);
+            assert!(stats.cycles > 0, "{} produced no cycles", w.name());
+        }
+    }
+}

@@ -36,7 +36,10 @@ fn models_order_and_dual_issue_gains() {
     assert!(small > base && base > large, "{small} {base} {large}");
 
     let base_single = suite_avg_cpi(&cfg(MachineModel::Baseline, IssueWidth::Single, 17));
-    assert!(base < base_single, "dual must beat single on baseline at L17");
+    assert!(
+        base < base_single,
+        "dual must beat single on baseline at L17"
+    );
 }
 
 /// §5.1: the single-issue baseline outperforms the dual-issue small model
@@ -106,7 +109,10 @@ fn mshrs_help_monotonically() {
             let mut c = cfg(model, IssueWidth::Dual, 17);
             c.mshr_entries = mshrs;
             let cpi = suite_avg_cpi(&c);
-            assert!(cpi <= prev * 1.01, "{model}: {mshrs} MSHRs worsened {prev} -> {cpi}");
+            assert!(
+                cpi <= prev * 1.01,
+                "{model}: {mshrs} MSHRs worsened {prev} -> {cpi}"
+            );
             prev = cpi;
         }
     }
@@ -137,7 +143,10 @@ fn write_cache_improves_with_size() {
     let (small_hit, small_traffic) = stats(MachineModel::Small);
     let (large_hit, large_traffic) = stats(MachineModel::Large);
     assert!(large_hit > small_hit, "{small_hit} -> {large_hit}");
-    assert!(large_traffic < small_traffic, "{small_traffic} -> {large_traffic}");
+    assert!(
+        large_traffic < small_traffic,
+        "{small_traffic} -> {large_traffic}"
+    );
     // The write cache cuts traffic to well under half of store count.
     assert!(large_traffic < 0.5, "{large_traffic}");
 }
@@ -161,7 +170,10 @@ fn stall_structure_matches_figure6() {
     let (small_icache, _) = breakdown(MachineModel::Small);
     let (large_icache, large_load) = breakdown(MachineModel::Large);
     assert!(small_icache > large_icache, "I$ stalls shrink with size");
-    assert!(large_load > large_icache, "large model dominated by load stalls");
+    assert!(
+        large_load > large_icache,
+        "large model dominated by load stalls"
+    );
 }
 
 /// §5.8 / Table 6: out-of-order completion beats in-order completion on
@@ -217,7 +229,11 @@ fn fp_latency_monotone() {
 #[test]
 fn doubleword_loads_save_cycles() {
     let c = cfg(MachineModel::Baseline, IssueWidth::Dual, 17);
-    for b in [FpBenchmark::Alvinn, FpBenchmark::Hydro2d, FpBenchmark::Su2cor] {
+    for b in [
+        FpBenchmark::Alvinn,
+        FpBenchmark::Hydro2d,
+        FpBenchmark::Su2cor,
+    ] {
         let sw = {
             let w = b.workload(Scale::Test);
             let mut sim = Simulator::new(&c);

@@ -152,7 +152,11 @@ fn delay_slots_visible_in_trace() {
     })
     .unwrap();
     assert_eq!(delay_checks, 50);
-    assert_eq!(emu.reg(Reg::T1), 50, "delay slot executed on every iteration");
+    assert_eq!(
+        emu.reg(Reg::T1),
+        50,
+        "delay slot executed on every iteration"
+    );
 }
 
 /// Trace statistics from a kernel agree with a recount of the trace.

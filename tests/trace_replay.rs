@@ -54,7 +54,11 @@ fn synthetic_trace_replays_identically() {
 
 #[test]
 fn trace_file_size_is_predictable() {
-    let ops: Vec<TraceOp> = SyntheticConfig { instructions: 1000, ..Default::default() }.collect();
+    let ops: Vec<TraceOp> = SyntheticConfig {
+        instructions: 1000,
+        ..Default::default()
+    }
+    .collect();
     let mut buf = Vec::new();
     write_trace(&mut buf, ops.iter().copied()).unwrap();
     assert_eq!(buf.len(), 16 + 20 * ops.len(), "header + fixed records");

@@ -52,7 +52,11 @@ impl Criterion {
 
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -96,11 +100,19 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
-    let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1, sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_size,
+    };
     // Warm-up & auto-calibration pass.
     f(&mut bencher);
     let (mean, min, iters) = bencher.summarise();
-    println!("{label:<40} mean {:>12} min {:>12} ({iters} iters)", fmt_ns(mean), fmt_ns(min),);
+    println!(
+        "{label:<40} mean {:>12} min {:>12} ({iters} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -171,7 +183,11 @@ impl Bencher {
             .map(|d| d.as_nanos() as f64)
             .fold(f64::INFINITY, f64::min);
         let min = if min.is_finite() { min } else { 0.0 };
-        (total / n / iters, min / iters, self.iters_per_sample * self.samples.len() as u64)
+        (
+            total / n / iters,
+            min / iters,
+            self.iters_per_sample * self.samples.len() as u64,
+        )
     }
 }
 

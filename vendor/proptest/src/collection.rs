@@ -25,14 +25,20 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "vec strategy: empty size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> SizeRange {
         assert!(r.start() <= r.end(), "vec strategy: empty size range");
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
@@ -55,5 +61,8 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// Generates vectors whose elements come from `element` and whose length
 /// falls in `size`, like `proptest::collection::vec`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }

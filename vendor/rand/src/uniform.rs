@@ -125,8 +125,7 @@ macro_rules! uniform_signed_impl {
     ($ty:ty, $uty:ty) => {
         impl SampleUniform for $ty {
             fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
-                let offset =
-                    <$uty>::sample_single(0, high.wrapping_sub(low) as $uty, rng);
+                let offset = <$uty>::sample_single(0, high.wrapping_sub(low) as $uty, rng);
                 low.wrapping_add(offset as $ty)
             }
 
