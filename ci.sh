@@ -19,6 +19,11 @@ cargo test -q --workspace
 echo "== aurora-lint self-tests (fixture rules) =="
 cargo test -q -p aurora-lint
 
+echo "== rustdoc (missing/broken docs are errors; vendored crates excluded) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p aurora-isa -p aurora-workloads -p aurora-mem -p aurora-core \
+    -p aurora-cost -p aurora-bench -p aurora-lint -p aurora3
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -123,8 +123,8 @@ fn main() {
     if opts.timeline {
         println!("{:>8}  {:<10} {:<6} stall", "cycle", "pc", "pair");
         for r in sim.issue_log() {
-            let stall = match r.stall_kind {
-                Some(k) if r.stall_cycles > 0 => format!("{k} x{}", r.stall_cycles),
+            let stall = match r.stall_cause {
+                Some(c) if r.stall_cycles > 0 => format!("{c} x{}", r.stall_cycles),
                 _ => String::new(),
             };
             println!(

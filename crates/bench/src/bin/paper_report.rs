@@ -37,6 +37,8 @@ fn main() {
         "```\ncargo run --release -p aurora-bench --bin paper_report -- --scale {scale} --write EXPERIMENTS.md\n```\n"
     );
 
+    book(&mut md, scale);
+
     let int_suite = integer_suite(scale);
     let fpw = fp_suite(scale);
 
@@ -76,6 +78,135 @@ fn main() {
             eprintln!("wrote {}", pair[1]);
         }
     }
+}
+
+/// The experiment book: one row per paper artifact, mapping it to the
+/// binary, the exact command, where the output lands, and how far from
+/// the paper's numbers to expect it. Emitted by the generator so
+/// `--write` regeneration cannot orphan it.
+fn book(md: &mut String, scale: Scale) {
+    let _ = writeln!(
+        md,
+        "## The experiment book — how to reproduce each result\n"
+    );
+    let _ = writeln!(
+        md,
+        "Every row regenerates one paper artifact. All binaries accept \
+         `--scale test|small|full` (~0.1M / 1M / 7M instructions per \
+         kernel; this report used `{scale}`) and print to stdout unless an \
+         output file is named. Prefix each command with \
+         `cargo run --release -p aurora-bench --bin`. Runs are \
+         deterministic: two runs at the same scale produce identical \
+         numbers, so any diff against this file is a real behaviour \
+         change.\n"
+    );
+    let _ = writeln!(
+        md,
+        "| paper artifact | binary | command | output | expected delta vs. paper |\n|---|---|---|---|---|"
+    );
+    for (artifact, binary, cmd, output, delta) in [
+        (
+            "everything below at once",
+            "`paper_report`",
+            "`paper_report -- --scale small --write EXPERIMENTS.md`",
+            "this file",
+            "see per-row notes; Summary of divergences at the end",
+        ),
+        (
+            "Fig. 4 issue width × model",
+            "`fig4_issue_perf`",
+            "`fig4_issue_perf -- --scale small`",
+            "stdout table",
+            "CPIs ~0.2–0.5 lower (hand-scheduled kernels); ordering and the paper's four claims hold",
+        ),
+        (
+            "Fig. 5 prefetch removal",
+            "`fig5_prefetch_removal`",
+            "`fig5_prefetch_removal -- --scale small`",
+            "stdout table",
+            "baseline gains match (~11–19%); small-model gain is larger than the paper's ~0%",
+        ),
+        (
+            "Fig. 6 stall breakdown (counters)",
+            "`fig6_stall_breakdown`",
+            "`fig6_stall_breakdown -- --scale small`",
+            "stdout table",
+            "category ranking matches: LSU dominates small, ICache+Load dominate base/large",
+        ),
+        (
+            "Fig. 6 from attribution events",
+            "`obs_report`",
+            "`obs_report -- --scale small [--trace-out t.json --kernel espresso]`",
+            "stdout tables + optional Perfetto JSON",
+            "identical to the counter version by construction (asserted, worst deviation 0%)",
+        ),
+        (
+            "Fig. 7 MSHR count",
+            "`fig7_mshr_sweep`",
+            "`fig7_mshr_sweep -- --scale small`",
+            "stdout table",
+            "1→2 MSHR cliff reproduces; all models flat by 4",
+        ),
+        (
+            "Fig. 8 espresso scatter",
+            "`fig8_espresso_scatter`",
+            "`fig8_espresso_scatter -- --scale small`",
+            "stdout, 28 (cost, CPI) points",
+            "shape matches: plateau past the recommended point",
+        ),
+        (
+            "Tab. 3/4 prefetch hit rates",
+            "`tab3_tab4_prefetch_rates`",
+            "`tab3_tab4_prefetch_rates -- --scale small`",
+            "stdout tables",
+            "I-stream runs high (~75–90% vs. 58%): kernel streams are more sequential than SPEC92",
+        ),
+        (
+            "Tab. 5 write-cache hits",
+            "`tab5_write_cache`",
+            "`tab5_write_cache -- --scale small`",
+            "stdout table",
+            "hit rates and the 4-line knee match; traffic ratios within ~10 points",
+        ),
+        (
+            "Tab. 6 FPU issue policies",
+            "`tab6_fpu_policies`",
+            "`tab6_fpu_policies -- --scale small`",
+            "stdout table",
+            "dual-over-in-order gain smaller than 21% (non-pipelined multiplier bounds both)",
+        ),
+        (
+            "Fig. 9 FPU sweeps",
+            "`fig9_fpu_sweeps`",
+            "`fig9_fpu_sweeps -- --scale small [--ablation]`",
+            "stdout curves",
+            "knees at the paper's recommended sizes; 9c flatter (fewer FP ops in flight)",
+        ),
+        (
+            "Tab. 2 area model",
+            "`tab1_tab2_models`",
+            "`tab1_tab2_models`",
+            "stdout RBE table",
+            "exact — arithmetic, not simulation",
+        ),
+        (
+            "§5 budgeted design search",
+            "`optimize`",
+            "`optimize -- --budget 36000 --scale small`",
+            "stdout frontier",
+            "rediscovers the paper's recommendation (baseline + MSHR upgrade)",
+        ),
+        (
+            "throughput / overhead numbers",
+            "`perf_baseline`",
+            "`perf_baseline -- --scale test`",
+            "`BENCH_replay.json`, `BENCH_sim.json`",
+            "host-dependent wall-clock; stats asserted bit-identical across modes",
+        ),
+    ] {
+        let _ = writeln!(md, "| {artifact} | {binary} | {cmd} | {output} | {delta} |");
+    }
+    let _ = writeln!(md);
 }
 
 fn pct(x: f64) -> String {

@@ -169,6 +169,33 @@ fn main() {
     );
     let sim_speedup = mode_results[0].2 / mode_results[1].2;
     println!("sim/skip-vs-naive: {sim_speedup:.2}x, stats bit-identical");
+
+    // Observer-overhead section: the same single-threaded replays with
+    // the cycle-event observer attached. `observe = true` pays for ring
+    // writes and histogram updates; the statistics must stay
+    // bit-identical to the unobserved run (the observer is read-only
+    // with respect to machine state).
+    let observe_secs = {
+        let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        cfg.observe = true;
+        let mut secs = f64::INFINITY;
+        let mut stats = Vec::new();
+        for _ in 0..3 {
+            let t = Instant::now();
+            stats = traces.iter().map(|tr| replay(&cfg, tr)).collect();
+            secs = secs.min(t.elapsed().as_secs_f64());
+        }
+        assert_eq!(
+            &stats, skip_stats,
+            "observe=true stats diverged from observe=false"
+        );
+        secs
+    };
+    let observe_overhead = observe_secs / mode_results[0].1 - 1.0;
+    println!(
+        "sim/observed: {observe_secs:.3} s  ({:+.1}% vs unobserved, stats bit-identical)",
+        100.0 * observe_overhead
+    );
     let _ = writeln!(
         sim_json,
         "  \"instructions\": {},",
@@ -179,6 +206,12 @@ fn main() {
         let _ = writeln!(sim_json, "  \"{label}_instr_per_sec\": {ips:.0},");
     }
     let _ = writeln!(sim_json, "  \"skip_speedup_vs_naive\": {sim_speedup:.3},");
+    let _ = writeln!(sim_json, "  \"observed_seconds\": {observe_secs:.6},");
+    let _ = writeln!(
+        sim_json,
+        "  \"observe_overhead_pct\": {:.1},",
+        100.0 * observe_overhead
+    );
     let _ = writeln!(sim_json, "  \"stats_bit_identical\": true");
     sim_json.push_str("}\n");
     std::fs::write(&sim_out_path, &sim_json).expect("write sim benchmark json");

@@ -1,13 +1,17 @@
-//! Pipeline viewer: runs a small assembly program with the issue log
-//! enabled and prints a per-instruction timeline — which cycle each
-//! instruction issued, what stalled it, and which pairs dual-issued.
+//! Pipeline viewer: runs a small assembly program with the cycle-event
+//! observer enabled and prints a timeline straight off the event stream —
+//! which cycle each instruction issued, every stall region with its
+//! fine-grained cause, and cache-miss / MSHR activity interleaved in
+//! cycle order. Optionally dumps the same events as Chrome/Perfetto
+//! trace JSON.
 //!
 //! ```text
-//! cargo run --release -p aurora-bench --bin pipeview [-- --model small|baseline|large]
+//! cargo run --release -p aurora-bench --bin pipeview \
+//!     [-- --model small|baseline|large] [--trace-out FILE.json]
 //! ```
 
-use aurora_core::{IssueWidth, MachineModel, Simulator};
-use aurora_isa::{Assembler, Emulator, OpKind};
+use aurora_core::{IssueWidth, MachineModel, ObsEventKind, Simulator};
+use aurora_isa::{Assembler, Emulator};
 use aurora_mem::LatencyModel;
 
 const DEMO: &str = r#"
@@ -34,10 +38,12 @@ const DEMO: &str = r#"
         break
 "#;
 
+fn arg_value(flag: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != flag).nth(1)
+}
+
 fn main() {
-    let model = std::env::args()
-        .skip_while(|a| a != "--model")
-        .nth(1)
+    let model = arg_value("--model")
         .map(|m| match m.as_str() {
             "small" => MachineModel::Small,
             "large" => MachineModel::Large,
@@ -48,52 +54,85 @@ fn main() {
     let program = Assembler::new().assemble(DEMO).expect("demo assembles");
     let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
     let mut sim = Simulator::new(&cfg);
-    sim.enable_issue_log(4096);
+    sim.enable_observer(1 << 14);
     let mut emu = Emulator::new(&program);
     emu.run_traced(100_000, |op| sim.feed(op))
         .expect("demo runs");
 
-    println!("pipeline timeline on the {model} model (dual issue, L17):\n");
-    println!(
-        "{:>7}  {:<10} {:<22} {:<6} stall",
-        "cycle", "pc", "op", "pair"
-    );
-    let records: Vec<_> = sim.issue_log().copied().collect();
-    for (shown, r) in records.iter().enumerate() {
-        if shown >= 60 {
-            println!("... ({} more)", records.len() - shown);
+    let (stats, obs) = sim.finish_observed();
+    let obs = obs.expect("observer was enabled");
+
+    println!("event timeline on the {model} model (dual issue, L17):\n");
+    println!("{:>7}  {:<12} event", "cycle", "unit");
+    for (shown, ev) in obs.events().enumerate() {
+        if shown >= 72 {
+            println!("... ({} more events)", obs.len() - shown);
             break;
         }
-        let op = match r.kind {
-            OpKind::Load { ea, .. } => format!("load  [{ea:#x}]"),
-            OpKind::Store { ea, .. } => format!("store [{ea:#x}]"),
-            OpKind::Branch { taken, .. } => {
-                format!("branch ({})", if taken { "taken" } else { "not taken" })
+        let (unit, what) = match ev.kind {
+            ObsEventKind::Fetch { pc } => ("fetch", format!("pair @ {pc:#x}")),
+            ObsEventKind::Issue { pc, dual } => (
+                "issue",
+                format!("{pc:#x}{}", if dual { "  <pair" } else { "" }),
+            ),
+            ObsEventKind::Retire => ("retire", "rob entry completes".to_owned()),
+            ObsEventKind::Stall { cause, cycles } => ("stall", format!("{cause} x{cycles}")),
+            ObsEventKind::IcacheMiss { latency } => {
+                ("icache", format!("miss, {latency}-cycle service"))
             }
-            OpKind::Jump { .. } => "jump".to_owned(),
-            other => format!("{other:?}").to_lowercase(),
+            ObsEventKind::DcacheMiss { latency } => {
+                ("dcache", format!("miss, {latency}-cycle service"))
+            }
+            ObsEventKind::MshrAlloc { occupancy } => ("mshr", format!("alloc ({occupancy} live)")),
+            ObsEventKind::MshrFree { held } => ("mshr", format!("free after {held}")),
+            ObsEventKind::WriteCacheMerge => ("wcache", "store coalesced".to_owned()),
+            ObsEventKind::FpQueueDepth { depth } => ("fpu", format!("iq depth {depth}")),
         };
-        let stall = match r.stall_kind {
-            Some(kind) if r.stall_cycles > 0 => format!("{} x{}", kind, r.stall_cycles),
-            _ => String::new(),
-        };
+        println!("{:>7}  {:<12} {}", ev.cycle, unit, what);
+    }
+
+    println!(
+        "\nstall attribution ({} stall cycles total):",
+        obs.total_stall_cycles()
+    );
+    for (cause, cycles) in obs.stall_breakdown() {
+        if cycles > 0 {
+            println!(
+                "  {:<26} {:>6}  ({:.1}%)",
+                cause.label(),
+                cycles,
+                100.0 * cycles as f64 / obs.total_stall_cycles().max(1) as f64
+            );
+        }
+    }
+    let dmiss = obs.dmiss_latency();
+    if dmiss.count() > 0 {
         println!(
-            "{:>7}  {:<10} {:<22} {:<6} {}",
-            r.cycle,
-            format!("{:#x}", r.pc),
-            op,
-            if r.dual_with_prev { "<pair" } else { "" },
-            stall
+            "\nD$ miss latency: {} misses, mean {:.1}, p95 {}, max {}",
+            dmiss.count(),
+            dmiss.mean(),
+            dmiss.percentile(0.95),
+            dmiss.max()
         );
     }
-    let stats = sim.finish();
+
+    if let Some(path) = arg_value("--trace-out") {
+        std::fs::write(&path, obs.chrome_trace_json()).expect("trace file writes");
+        println!("\nPerfetto trace written to {path} (open in ui.perfetto.dev)");
+    }
+
     println!(
         "\n{} instructions in {} cycles: CPI {:.3}, {} dual issues, \
-         load stalls {:.3} CPI",
+         dropped events {}",
         stats.instructions,
         stats.cycles,
         stats.cpi(),
         stats.dual_issues,
-        stats.stall_cpi(aurora_core::StallKind::Load)
+        obs.dropped()
+    );
+    assert_eq!(
+        obs.stalls_by_kind(),
+        stats.stalls,
+        "event attribution must reproduce the counter breakdown"
     );
 }

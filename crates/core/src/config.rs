@@ -77,6 +77,7 @@ impl MachineModel {
             branch_folding: true,
             write_validation: true,
             cycle_skip: true,
+            observe: false,
             fpu: FpuConfig::recommended(),
             seed: 0xA0707A_u64,
         }
@@ -227,6 +228,13 @@ pub struct MachineConfig {
     /// unit maintenance at each one — a naive reference mode kept for
     /// differential testing; both modes must produce identical stats.
     pub cycle_skip: bool,
+    /// Whether the simulator attaches a cycle-event
+    /// [`Observer`](crate::Observer) recording per-unit events, the
+    /// fine-grained stall-cause attribution and histograms (see
+    /// `crate::obs`). Off by default and zero-cost when off: the
+    /// [`SimStats`](crate::SimStats) of a run are bit-identical either
+    /// way, which the differential suite asserts.
+    pub observe: bool,
     /// The decoupled FPU configuration.
     pub fpu: FpuConfig,
     /// Seed for the latency distribution.

@@ -148,6 +148,13 @@ impl Fpu {
         }
     }
 
+    /// Instruction-queue occupancy at cycle `now`: entries whose issue
+    /// (queue-departure) cycle lies after `now`. Side-effect free; used
+    /// by the observability layer to sample queue depth at dispatch.
+    pub(crate) fn iq_occupancy(&self, now: u64) -> u64 {
+        self.iq.iter().filter(|&&leaves| leaves > now).count() as u64
+    }
+
     /// Earliest cycle `>= now` with a free store-queue slot.
     pub(crate) fn stq_space_at(&mut self, now: u64) -> u64 {
         while matches!(self.stq.front(), Some(&t) if t <= now) {

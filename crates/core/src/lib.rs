@@ -44,13 +44,17 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 mod fpu;
+pub mod obs;
 mod rob;
 mod sim;
 mod stats;
 
 pub use config::{FpIssuePolicy, FpuConfig, IssueWidth, MachineConfig, MachineModel};
+pub use obs::{Histogram, ObsEvent, ObsEventKind, Observer, StallCause};
 pub use rob::ReorderBuffer;
 pub use sim::{replay, simulate, simulate_program, IssueRecord, Simulator};
 pub use stats::{SimStats, StallBreakdown, StallKind};

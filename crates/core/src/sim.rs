@@ -46,8 +46,9 @@ use aurora_mem::{
 
 use crate::config::{IssueWidth, MachineConfig};
 use crate::fpu::Fpu;
+use crate::obs::{ObsEventKind, Observer, StallCause};
 use crate::rob::ReorderBuffer;
-use crate::stats::{SimStats, StallKind};
+use crate::stats::SimStats;
 
 /// Cycles to move a load that hits the on-chip write cache into a register.
 const WRITE_CACHE_LOAD_LATENCY: u64 = 2;
@@ -88,8 +89,10 @@ pub struct IssueRecord {
     pub dual_with_prev: bool,
     /// Whole-pipeline stall cycles charged immediately before this issue.
     pub stall_cycles: u64,
-    /// The binding stall cause when `stall_cycles > 0`.
-    pub stall_kind: Option<StallKind>,
+    /// The binding stall cause when `stall_cycles > 0`, in the
+    /// fine-grained observability taxonomy. The coarse Figure 6 category
+    /// is `cause.kind()`.
+    pub stall_cause: Option<StallCause>,
 }
 
 /// The cycle-level simulator. Feed it a trace with [`Simulator::feed`]
@@ -120,8 +123,8 @@ pub struct Simulator<'cfg> {
     after_ctl: Option<Redirect>,
     delay_pending: Option<Redirect>,
     // Integer engine.
-    int_score: [(u64, StallKind); 32],
-    hilo: (u64, StallKind),
+    int_score: [(u64, StallCause); 32],
+    hilo: (u64, StallCause),
     rob: ReorderBuffer,
     // Memory system.
     dcache: DirectMappedCache,
@@ -142,6 +145,16 @@ pub struct Simulator<'cfg> {
     // Issue buffering (one pair of look-ahead for dual issue).
     pending: VecDeque<TraceOp>,
     issue_log: Option<(usize, VecDeque<IssueRecord>)>,
+    /// Fetch bubble charged by the most recent [`Simulator::fetch`] (0 or
+    /// 1): lets stall attribution split an ICache-bound stall into its
+    /// branch-bubble and miss-service parts without changing the coarse
+    /// counters.
+    fetch_bubble: u64,
+    /// The observability recorder; `None` unless
+    /// [`MachineConfig::observe`] is set or
+    /// [`Simulator::enable_observer`] was called. Boxed so the disabled
+    /// case costs one pointer-null test on the hot path.
+    obs: Option<Box<Observer>>,
     warm_cycle_offset: u64,
     stats: SimStats,
     /// Debug-build cross-check for the event-horizon protocol: the last
@@ -169,8 +182,8 @@ impl<'cfg> Simulator<'cfg> {
             last_fetch_pair: None,
             after_ctl: None,
             delay_pending: None,
-            int_score: [(0, StallKind::Interlock); 32],
-            hilo: (0, StallKind::Interlock),
+            int_score: [(0, StallCause::RawDep); 32],
+            hilo: (0, StallCause::RawDep),
             rob: ReorderBuffer::new(cfg.rob_entries),
             dcache: DirectMappedCache::new(Geometry::new(cfg.dcache_bytes, line)),
             dcache_port_free: 0,
@@ -187,6 +200,10 @@ impl<'cfg> Simulator<'cfg> {
             fpu: Fpu::new(cfg.fpu.clone()),
             pending: VecDeque::with_capacity(2),
             issue_log: None,
+            fetch_bubble: 0,
+            obs: cfg
+                .observe
+                .then(|| Box::new(Observer::new(crate::obs::DEFAULT_RING_CAPACITY))),
             warm_cycle_offset: 0,
             stats: SimStats::default(),
             #[cfg(debug_assertions)]
@@ -211,6 +228,22 @@ impl<'cfg> Simulator<'cfg> {
         self.istream = StreamStats::default();
         self.dstream = StreamStats::default();
         self.fpu.reset_stats();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.reset();
+        }
+    }
+
+    /// Attaches (or replaces) a cycle-event [`Observer`] with a ring of
+    /// `capacity` events, regardless of [`MachineConfig::observe`].
+    /// Retrieve it with [`Simulator::observer`] or
+    /// [`Simulator::finish_observed`].
+    pub fn enable_observer(&mut self, capacity: usize) {
+        self.obs = Some(Box::new(Observer::new(capacity)));
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&Observer> {
+        self.obs.as_deref()
     }
 
     /// Keeps a rolling log of the most recent `capacity` issued
@@ -304,7 +337,14 @@ impl<'cfg> Simulator<'cfg> {
     }
 
     /// Flushes remaining ops and returns the final statistics.
-    pub fn finish(mut self) -> SimStats {
+    pub fn finish(self) -> SimStats {
+        self.finish_observed().0
+    }
+
+    /// Like [`Simulator::finish`], but also hands back the attached
+    /// [`Observer`] (if any) so callers can inspect the event ring,
+    /// per-cause stall attribution and histograms after the run.
+    pub fn finish_observed(mut self) -> (SimStats, Option<Observer>) {
         while !self.pending.is_empty() {
             self.issue_group();
         }
@@ -323,7 +363,7 @@ impl<'cfg> Simulator<'cfg> {
         stats.biu = self.biu.stats();
         stats.fp_instructions = self.fpu.stats().dispatched;
         stats.fp_dual_issues = self.fpu.stats().dual_issues;
-        stats
+        (stats, self.obs.take().map(|b| *b))
     }
 
     /// Issues the next group from the pending queue (one instruction, or
@@ -357,8 +397,8 @@ impl<'cfg> Simulator<'cfg> {
         // --- Constraint gathering for the first instruction -------------
         let redirect = self.delay_pending.take();
         let t_fetch = self.fetch(u64::from(first.pc), redirect);
-        let mut binding = (t_fetch, StallKind::ICache);
-        let consider = |cand: (u64, StallKind), binding: &mut (u64, StallKind)| {
+        let mut binding = (t_fetch, StallCause::Icache);
+        let consider = |cand: (u64, StallCause), binding: &mut (u64, StallCause)| {
             if cand.0 > binding.0 {
                 *binding = cand;
             }
@@ -376,40 +416,46 @@ impl<'cfg> Simulator<'cfg> {
                 // A full ROB always has entries, so `next_free_at` is Some;
                 // were it ever None there would simply be no constraint.
                 if let Some(free) = self.rob.next_free_at() {
-                    consider((free, StallKind::RobFull), &mut binding);
+                    consider((free, StallCause::Structural), &mut binding);
                 }
             }
         }
         if first.kind.is_memory() {
-            consider((self.dcache_port_free, StallKind::LsuBusy), &mut binding);
+            consider(
+                (self.dcache_port_free, StallCause::DcacheStoreBufferFull),
+                &mut binding,
+            );
             self.mshrs.expire(self.now);
             if !self.mshrs.has_free() && !self.can_merge(first) {
                 // A full MSHR file always has an earliest completion.
                 if let Some(free) = self.mshrs.earliest_completion() {
-                    consider((free, StallKind::LsuBusy), &mut binding);
+                    consider((free, StallCause::MshrFull), &mut binding);
                 }
             }
             if matches!(first.kind, OpKind::FpStore { .. }) {
                 consider(
-                    (self.fpu.stq_space_at(self.now), StallKind::FpQueue),
+                    (self.fpu.stq_space_at(self.now), StallCause::FpuSyncQueue),
                     &mut binding,
                 );
             }
         }
         if first.kind.is_fpu() {
             consider(
-                (self.fpu.iq_space_at(self.now), StallKind::FpQueue),
+                (self.fpu.iq_space_at(self.now), StallCause::FpuSyncQueue),
                 &mut binding,
             );
         }
 
-        let (t, reason) = binding;
+        let (t, cause) = binding;
         let pre_issue_now = self.now;
         let t = t.max(self.now);
         if t > self.now {
             // lint:allow(L002): StallKind indexing is a total enum-to-array
             // map via Index impl, not a fallible slice index
-            self.stats.stalls[reason] += t - self.now;
+            self.stats.stalls[cause.kind()] += t - self.now;
+            if self.obs.is_some() {
+                self.note_stall(pre_issue_now, t - self.now, cause);
+            }
         }
         self.advance_to(t);
 
@@ -421,6 +467,15 @@ impl<'cfg> Simulator<'cfg> {
         // --- Execute -----------------------------------------------------
         self.execute(first, t);
         self.stats.instructions += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.record(
+                t,
+                ObsEventKind::Issue {
+                    pc: first.pc,
+                    dual: false,
+                },
+            );
+        }
         if self.issue_log.is_some() {
             let stall_cycles = t.saturating_sub(pre_issue_now);
             self.log_issue(IssueRecord {
@@ -429,13 +484,22 @@ impl<'cfg> Simulator<'cfg> {
                 kind: first.kind,
                 dual_with_prev: false,
                 stall_cycles,
-                stall_kind: (stall_cycles > 0).then_some(reason),
+                stall_cause: (stall_cycles > 0).then_some(cause),
             });
         }
         if let (true, Some(s)) = (dual, second) {
             self.execute(s, t);
             self.stats.instructions += 1;
             self.stats.dual_issues += 1;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.record(
+                    t,
+                    ObsEventKind::Issue {
+                        pc: s.pc,
+                        dual: true,
+                    },
+                );
+            }
             if self.issue_log.is_some() {
                 self.log_issue(IssueRecord {
                     cycle: t,
@@ -443,12 +507,48 @@ impl<'cfg> Simulator<'cfg> {
                     kind: s.kind,
                     dual_with_prev: true,
                     stall_cycles: 0,
-                    stall_kind: None,
+                    stall_cause: None,
                 });
             }
         }
         self.now = t + 1;
         dual
+    }
+
+    /// Records a stall region in the observer, splitting an ICache-bound
+    /// stall into its unfolded-branch bubble (if any) and the miss
+    /// service proper. The split refines attribution only — both halves
+    /// fold back onto [`StallKind::ICache`](crate::StallKind), so the
+    /// coarse counters are untouched.
+    #[cold]
+    #[inline(never)]
+    fn note_stall(&mut self, at: u64, cycles: u64, cause: StallCause) {
+        let bubble = if cause == StallCause::Icache {
+            self.fetch_bubble.min(cycles)
+        } else {
+            0
+        };
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        if bubble > 0 {
+            o.record(
+                at,
+                ObsEventKind::Stall {
+                    cause: StallCause::Branch,
+                    cycles: bubble,
+                },
+            );
+        }
+        if cycles > bubble {
+            o.record(
+                at + bubble,
+                ObsEventKind::Stall {
+                    cause,
+                    cycles: cycles - bubble,
+                },
+            );
+        }
     }
 
     /// Advances unit state from `self.now` to the issue cycle `t`.
@@ -600,10 +700,15 @@ impl<'cfg> Simulator<'cfg> {
             self.last_fetch_pair = None;
         }
         if self.last_fetch_pair == Some(pair) {
+            self.fetch_bubble = 0;
             return self.now;
         }
         self.last_fetch_pair = Some(pair);
+        self.fetch_bubble = bubble;
         let t = self.now + bubble;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.record(t, ObsEventKind::Fetch { pc });
+        }
         if self.icache.probe(pc) {
             return t;
         }
@@ -611,6 +716,14 @@ impl<'cfg> Simulator<'cfg> {
         let line = self.icache.geometry().line(pc);
         let ready = self.service_miss(line, t, true);
         self.icache.fill(pc);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.record(
+                t,
+                ObsEventKind::IcacheMiss {
+                    latency: ready.saturating_sub(t),
+                },
+            );
+        }
         ready
     }
 
@@ -687,18 +800,18 @@ impl<'cfg> Simulator<'cfg> {
     }
 
     /// Ready time and stall attribution for a source register.
-    fn reg_ready(&self, src: ArchReg) -> (u64, StallKind) {
+    fn reg_ready(&self, src: ArchReg) -> (u64, StallCause) {
         match src {
             ArchReg::Int(n) => self
                 .int_score
                 .get(n as usize)
                 .copied()
-                .unwrap_or((0, StallKind::Interlock)),
+                .unwrap_or((0, StallCause::RawDep)),
             ArchReg::HiLo => self.hilo,
-            ArchReg::FpCond => (self.fpu.fpcc_ready(), StallKind::FpResult),
+            ArchReg::FpCond => (self.fpu.fpcc_ready(), StallCause::FpuSyncResult),
             // FP register timing lives inside the FPU; the IPU does not
             // wait on it at issue.
-            ArchReg::Fp(_) => (0, StallKind::Interlock),
+            ArchReg::Fp(_) => (0, StallCause::RawDep),
         }
     }
 
@@ -712,20 +825,20 @@ impl<'cfg> Simulator<'cfg> {
 
         match op.kind {
             OpKind::IntAlu | OpKind::Nop => {
-                self.write_int(op.dst, t + 1, StallKind::Interlock);
+                self.write_int(op.dst, t + 1, StallCause::RawDep);
                 self.push_rob(t + 2);
             }
             OpKind::IntMul => {
-                self.hilo = (t + INT_MUL_LATENCY, StallKind::Interlock);
+                self.hilo = (t + INT_MUL_LATENCY, StallCause::RawDep);
                 self.push_rob(t + 2);
             }
             OpKind::IntDiv => {
-                self.hilo = (t + INT_DIV_LATENCY, StallKind::Interlock);
+                self.hilo = (t + INT_DIV_LATENCY, StallCause::RawDep);
                 self.push_rob(t + 2);
             }
             OpKind::Load { ea, width } => {
                 let result = self.exec_load(u64::from(ea), width.bytes(), t);
-                self.write_int(op.dst, result, StallKind::Load);
+                self.write_int(op.dst, result, StallCause::DcacheLoad);
                 self.push_rob(result);
             }
             OpKind::Store { ea, width } => {
@@ -760,14 +873,20 @@ impl<'cfg> Simulator<'cfg> {
                     branch_pc: u64::from(op.pc),
                     foldable: !register,
                 });
-                self.write_int(op.dst, t + 1, StallKind::Interlock);
+                self.write_int(op.dst, t + 1, StallCause::RawDep);
                 self.push_rob(t + 2);
             }
             kind if kind.is_fpu() => {
                 let d = self.fpu.dispatch(op, t);
+                if self.obs.is_some() {
+                    let depth = self.fpu.iq_occupancy(t);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.record(t, ObsEventKind::FpQueueDepth { depth });
+                    }
+                }
                 // `mfc1` delivers an integer result via the store queue.
                 if let Some(ArchReg::Int(_)) = op.dst {
-                    self.write_int(op.dst, d.result_at, StallKind::FpResult);
+                    self.write_int(op.dst, d.result_at, StallCause::FpuSyncResult);
                 }
             }
             // lint:allow(L002): the decoder emits only the kinds handled
@@ -783,11 +902,11 @@ impl<'cfg> Simulator<'cfg> {
         let line = self.dcache.geometry().line(ea);
         if self.write_cache.load_probe(ea, bytes) {
             // On-chip hit: the MSHR frees as soon as the tags resolve.
-            self.allocate_mshr_if_free(line, t + MSHR_HIT_HOLD);
+            self.allocate_mshr_if_free(line, t, t + MSHR_HIT_HOLD);
             return t + WRITE_CACHE_LOAD_LATENCY;
         }
         if self.dcache.probe(ea) {
-            self.allocate_mshr_if_free(line, t + MSHR_HIT_HOLD);
+            self.allocate_mshr_if_free(line, t, t + MSHR_HIT_HOLD);
             return t + 1 + u64::from(self.cfg.dcache_latency);
         }
         if let Some(ready) = self.mshrs.lookup(line) {
@@ -799,6 +918,19 @@ impl<'cfg> Simulator<'cfg> {
         self.next_fill_at = self.next_fill_at.min(arrival);
         let allocated = self.mshrs.allocate(line, arrival);
         debug_assert!(allocated.is_some(), "issue logic ensured a free MSHR");
+        if self.obs.is_some() {
+            let occupancy = self.mshrs.occupancy() as u64;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.record(
+                    t,
+                    ObsEventKind::DcacheMiss {
+                        latency: arrival - t,
+                    },
+                );
+                o.record(t, ObsEventKind::MshrAlloc { occupancy });
+                o.record(arrival, ObsEventKind::MshrFree { held: arrival - t });
+            }
+        }
         arrival + 1
     }
 
@@ -808,6 +940,11 @@ impl<'cfg> Simulator<'cfg> {
         self.dcache_port_free = self.dcache_port_free.max(t + 1);
         let line = self.dcache.geometry().line(ea);
         let out = self.write_cache.store(ea, bytes, commit);
+        if out.hit {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.record(t, ObsEventKind::WriteCacheMerge);
+            }
+        }
         if out.evicted.is_some() {
             self.biu.request(commit, TransferKind::WriteBack);
         }
@@ -822,17 +959,30 @@ impl<'cfg> Simulator<'cfg> {
         if !self.dcache.probe(ea) {
             self.dcache.fill(ea);
         }
-        self.allocate_mshr_if_free(line, t + STORE_PIPE_LATENCY);
+        self.allocate_mshr_if_free(line, t, t + STORE_PIPE_LATENCY);
     }
 
     /// Reserves an MSHR for a memory instruction in the LSU pipe (§2.3:
     /// "an MSHR is reserved for each memory instruction active in the
-    /// LSU"). Hits release it when their data returns. If the file is
+    /// LSU"). The reservation starts at `t` and holds `until` the tags
+    /// resolve. Hits release it when their data returns. If the file is
     /// momentarily full because the op merged instead, ride along.
-    fn allocate_mshr_if_free(&mut self, line: LineAddr, until: u64) {
+    fn allocate_mshr_if_free(&mut self, line: LineAddr, t: u64, until: u64) {
         if self.mshrs.has_free() {
             let allocated = self.mshrs.allocate(line, until);
             debug_assert!(allocated.is_some(), "has_free was checked");
+            if self.obs.is_some() {
+                let occupancy = self.mshrs.occupancy() as u64;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.record(t, ObsEventKind::MshrAlloc { occupancy });
+                    o.record(
+                        until,
+                        ObsEventKind::MshrFree {
+                            held: until.saturating_sub(t),
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -851,19 +1001,22 @@ impl<'cfg> Simulator<'cfg> {
         }
     }
 
-    fn write_int(&mut self, dst: Option<ArchReg>, ready: u64, kind: StallKind) {
+    fn write_int(&mut self, dst: Option<ArchReg>, ready: u64, cause: StallCause) {
         match dst {
             Some(ArchReg::Int(n)) => {
                 if let Some(slot) = self.int_score.get_mut(n as usize) {
-                    *slot = (ready, kind);
+                    *slot = (ready, cause);
                 }
             }
-            Some(ArchReg::HiLo) => self.hilo = (ready, kind),
+            Some(ArchReg::HiLo) => self.hilo = (ready, cause),
             _ => {}
         }
     }
 
     fn push_rob(&mut self, completes_at: u64) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.record(completes_at, ObsEventKind::Retire);
+        }
         if self.rob.try_push(completes_at) {
             return;
         }
@@ -908,6 +1061,24 @@ where
 /// Replays a captured [`PackedTrace`] against `cfg` and returns the run's
 /// statistics. Produces bit-identical [`SimStats`] to feeding the same
 /// ops through [`simulate`], without re-emulating the workload.
+///
+/// ```
+/// use aurora_core::{replay, simulate, IssueWidth, MachineModel};
+/// use aurora_isa::{OpKind, PackedTrace, TraceOp};
+/// use aurora_mem::LatencyModel;
+///
+/// let ops: Vec<TraceOp> = (0..64u32)
+///     .map(|i| TraceOp::bare(0x400000 + 4 * (i % 16), OpKind::IntAlu))
+///     .collect();
+/// let capture = PackedTrace::from_ops(ops.iter().copied());
+///
+/// let cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+/// // One capture can drive any number of replays — and a replay is
+/// // bit-identical to streaming the live ops through `simulate`.
+/// let replayed = replay(&cfg, &capture);
+/// assert_eq!(replayed, simulate(&cfg, ops));
+/// assert_eq!(replayed.instructions, 64);
+/// ```
 pub fn replay(cfg: &MachineConfig, trace: &PackedTrace) -> SimStats {
     let mut sim = Simulator::new(cfg);
     sim.feed_packed(trace);
@@ -935,6 +1106,7 @@ pub fn simulate_program(
 mod tests {
     use super::*;
     use crate::config::MachineModel;
+    use crate::stats::StallKind;
     use aurora_isa::MemWidth;
     use aurora_mem::LatencyModel;
 

@@ -47,6 +47,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod asm;
 mod builder;
 mod codec;

@@ -11,7 +11,7 @@
 //! behind an `Arc` — by every simulator thread in a sweep.
 //!
 //! The field encoding is the shared [`codec`](crate::codec), identical to
-//! the on-disk format in [`trace_io`](crate::trace_io); [`PackedTrace::write_to`]
+//! the on-disk format in `trace_io`; [`PackedTrace::write_to`]
 //! and [`PackedTrace::read_from`] therefore interoperate byte-for-byte
 //! with [`write_trace`](crate::write_trace) / [`read_trace`](crate::read_trace).
 //!
@@ -167,7 +167,7 @@ impl PackedTrace {
         &self.ops
     }
 
-    /// Serialises in the [`trace_io`](crate::trace_io) binary format.
+    /// Serialises in the `trace_io` binary format.
     ///
     /// # Errors
     ///

@@ -23,37 +23,57 @@ impl Reg {
     pub const ZERO: Reg = Reg(0);
     /// Assembler temporary.
     pub const AT: Reg = Reg(1);
-    /// Function result registers.
+    /// First function result register.
     pub const V0: Reg = Reg(2);
+    /// Second function result register.
     pub const V1: Reg = Reg(3);
-    /// Argument registers.
+    /// First argument register.
     pub const A0: Reg = Reg(4);
+    /// Second argument register.
     pub const A1: Reg = Reg(5);
+    /// Third argument register.
     pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
     pub const A3: Reg = Reg(7);
-    /// Caller-saved temporaries.
+    /// Caller-saved temporary 0.
     pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary 1.
     pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary 2.
     pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary 3.
     pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary 4.
     pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary 5.
     pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary 6.
     pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary 7.
     pub const T7: Reg = Reg(15);
-    /// Callee-saved registers.
+    /// Callee-saved register 0.
     pub const S0: Reg = Reg(16);
+    /// Callee-saved register 1.
     pub const S1: Reg = Reg(17);
+    /// Callee-saved register 2.
     pub const S2: Reg = Reg(18);
+    /// Callee-saved register 3.
     pub const S3: Reg = Reg(19);
+    /// Callee-saved register 4.
     pub const S4: Reg = Reg(20);
+    /// Callee-saved register 5.
     pub const S5: Reg = Reg(21);
+    /// Callee-saved register 6.
     pub const S6: Reg = Reg(22);
+    /// Callee-saved register 7.
     pub const S7: Reg = Reg(23);
-    /// More caller-saved temporaries.
+    /// Caller-saved temporary 8.
     pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary 9.
     pub const T9: Reg = Reg(25);
-    /// Reserved for the OS kernel.
+    /// First register reserved for the OS kernel.
     pub const K0: Reg = Reg(26);
+    /// Second register reserved for the OS kernel.
     pub const K1: Reg = Reg(27);
     /// Global pointer.
     pub const GP: Reg = Reg(28);

@@ -34,6 +34,19 @@ type TraceKey = (&'static str, Scale, u64);
 type TraceCell = Arc<OnceLock<Arc<PackedTrace>>>;
 
 /// A concurrent memo of captured traces.
+///
+/// ```
+/// use aurora_workloads::{IntBenchmark, Scale, TraceStore};
+///
+/// let store = TraceStore::new();
+/// let w = IntBenchmark::Compress.workload(Scale::Test);
+/// let first = store.get(&w).unwrap();
+/// let second = store.get(&w).unwrap();
+/// // The second request is a memo hit: same buffer, one capture total.
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(store.captures(), 1);
+/// assert!(!first.is_empty());
+/// ```
 #[derive(Debug, Default)]
 pub struct TraceStore {
     cells: Mutex<HashMap<TraceKey, TraceCell>>,
