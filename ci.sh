@@ -8,7 +8,10 @@ echo "== rustfmt =="
 cargo fmt --all -- --check
 
 echo "== aurora-lint (workspace invariant gate, docs/LINTS.md) =="
-cargo run -q -p aurora-lint
+# One invocation both gates the build and emits the SARIF artifact:
+# findings go to lint.sarif for code-scanning upload, the human summary
+# goes to stderr, and a non-zero exit fails CI.
+cargo run -q -p aurora-lint -- --format sarif > lint.sarif
 
 echo "== build (release) =="
 cargo build --release --workspace

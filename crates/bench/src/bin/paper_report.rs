@@ -203,6 +203,14 @@ fn book(md: &mut String, scale: Scale) {
             "`BENCH_replay.json`, `BENCH_sim.json`",
             "host-dependent wall-clock; stats asserted bit-identical across modes",
         ),
+        (
+            "workspace invariant gate",
+            "`aurora-lint`",
+            "`cargo run -q -p aurora-lint -- --format sarif > lint.sarif` (full command)",
+            "`lint.sarif` + exit code",
+            "not a paper number: the transitive hot-path, determinism and unit-safety rules \
+             (docs/LINTS.md) that keep every row above allocation-free and bit-reproducible",
+        ),
     ] {
         let _ = writeln!(md, "| {artifact} | {binary} | {cmd} | {output} | {delta} |");
     }
@@ -670,19 +678,24 @@ fn utilization(md: &mut String, suite: &[Workload], fpw: &[Workload]) {
     );
     let _ = writeln!(
         md,
-        "| model | I$+D$ evictions | MSHR full-stalls | prefetches issued | \
+        "| model | I$+D$ evictions | MSHR full-stalls | MSHR peak occ | prefetches issued | \
          WC stores (hits) | WC loads (hits) | WC store txns | BIU I-fills | \
          BIU write-backs | rx busy % | tx busy % |\n\
-         |---|---|---|---|---|---|---|---|---|---|---|"
+         |---|---|---|---|---|---|---|---|---|---|---|---|"
     );
     for model in MachineModel::ALL {
         let cfg = model.config(IssueWidth::Dual, LatencyModel::Fixed(17));
         let results = run_suite(&cfg, suite);
         let sum = |f: &dyn Fn(&SimStats) -> u64| results.iter().map(|(_, s)| f(s)).sum::<u64>();
+        let peak = results
+            .iter()
+            .map(|(_, s)| s.mshr.peak_occupancy)
+            .max()
+            .unwrap_or(0);
         let cycles = sum(&|s| s.cycles).max(1);
         let _ = writeln!(
             md,
-            "| {model} | {} | {} | {} | {} ({}) | {} ({}) | {} | {} | {} | {} | {} |",
+            "| {model} | {} | {} | {peak} | {} | {} ({}) | {} ({}) | {} | {} | {} | {} | {} |",
             sum(&|s| s.icache.evictions + s.dcache.evictions),
             sum(&|s| s.mshr.full_stalls),
             sum(&|s| s.istream.prefetches_issued + s.dstream.prefetches_issued),

@@ -92,13 +92,34 @@ impl Index<StallKind> for StallBreakdown {
     type Output = u64;
 
     fn index(&self, kind: StallKind) -> &u64 {
-        &self.0[kind.index()]
+        // Destructuring instead of slice indexing: stall attribution runs
+        // once per issue slot, and a match on the unpacked array has no
+        // bounds check and no panic path.
+        let [icache, load, rob, lsu, fpq, fpr, ilk] = &self.0;
+        match kind {
+            StallKind::ICache => icache,
+            StallKind::Load => load,
+            StallKind::RobFull => rob,
+            StallKind::LsuBusy => lsu,
+            StallKind::FpQueue => fpq,
+            StallKind::FpResult => fpr,
+            StallKind::Interlock => ilk,
+        }
     }
 }
 
 impl IndexMut<StallKind> for StallBreakdown {
     fn index_mut(&mut self, kind: StallKind) -> &mut u64 {
-        &mut self.0[kind.index()]
+        let [icache, load, rob, lsu, fpq, fpr, ilk] = &mut self.0;
+        match kind {
+            StallKind::ICache => icache,
+            StallKind::Load => load,
+            StallKind::RobFull => rob,
+            StallKind::LsuBusy => lsu,
+            StallKind::FpQueue => fpq,
+            StallKind::FpResult => fpr,
+            StallKind::Interlock => ilk,
+        }
     }
 }
 

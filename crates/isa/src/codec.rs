@@ -32,6 +32,29 @@
 
 use crate::trace::{ArchReg, MemWidth, OpKind};
 
+/// A malformed field byte, reported without allocating. Decoding runs in
+/// the replay hot path (`PackedOp::unpack` is called once per op), so even
+/// the error arm must stay allocation-free; the offending byte is carried
+/// by value and only rendered if someone actually prints the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    KindTag(u8),
+    RegisterCode(u8),
+    WidthCode(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::KindTag(b) => write!(f, "kind tag {b}"),
+            CodecError::RegisterCode(b) => write!(f, "register code {b}"),
+            CodecError::WidthCode(b) => write!(f, "width code {b}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
 /// Bumped whenever the record field encoding changes; embedded in the
 /// file header and in on-disk cache names so stale artefacts are never
 /// misread.
@@ -91,7 +114,7 @@ pub(crate) fn pack_kind(kind: OpKind) -> (u8, u8, u32) {
 
 /// Rebuilds an [`OpKind`] from its `(tag, aux, payload)` encoding.
 #[inline]
-pub(crate) fn unpack_kind(tag: u8, aux: u8, payload: u32) -> Result<OpKind, String> {
+pub(crate) fn unpack_kind(tag: u8, aux: u8, payload: u32) -> Result<OpKind, CodecError> {
     Ok(match tag {
         K_INT_ALU => OpKind::IntAlu,
         K_INT_MUL => OpKind::IntMul,
@@ -136,7 +159,7 @@ pub(crate) fn unpack_kind(tag: u8, aux: u8, payload: u32) -> Result<OpKind, Stri
         K_FP_MOVE => OpKind::FpMove,
         K_FP_CMP => OpKind::FpCmp,
         K_NOP => OpKind::Nop,
-        other => return Err(format!("kind tag {other}")),
+        other => return Err(CodecError::KindTag(other)),
     })
 }
 
@@ -152,14 +175,14 @@ pub(crate) fn encode_reg(r: Option<ArchReg>) -> u8 {
 }
 
 #[inline]
-pub(crate) fn decode_reg(b: u8) -> Result<Option<ArchReg>, String> {
+pub(crate) fn decode_reg(b: u8) -> Result<Option<ArchReg>, CodecError> {
     Ok(match b {
         0 => None,
         1..=32 => Some(ArchReg::Int(b - 1)),
         33..=64 => Some(ArchReg::Fp(b - 33)),
         65 => Some(ArchReg::HiLo),
         66 => Some(ArchReg::FpCond),
-        other => return Err(format!("register code {other}")),
+        other => return Err(CodecError::RegisterCode(other)),
     })
 }
 
@@ -173,13 +196,13 @@ pub(crate) fn encode_width(w: MemWidth) -> u8 {
 }
 
 #[inline]
-pub(crate) fn decode_width(b: u8) -> Result<MemWidth, String> {
+pub(crate) fn decode_width(b: u8) -> Result<MemWidth, CodecError> {
     Ok(match b {
         1 => MemWidth::Byte,
         2 => MemWidth::Half,
         4 => MemWidth::Word,
         8 => MemWidth::Double,
-        other => Err(format!("width code {other}"))?,
+        other => Err(CodecError::WidthCode(other))?,
     })
 }
 

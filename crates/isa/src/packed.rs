@@ -32,7 +32,7 @@
 use std::io::{self, Read, Write};
 
 use crate::codec;
-use crate::trace::{TraceOp, TraceStats};
+use crate::trace::{OpKind, TraceOp, TraceStats};
 use crate::trace_io::{TraceReader, TraceWriter};
 
 /// One trace record packed into 16 bytes.
@@ -71,15 +71,24 @@ impl PackedOp {
     /// Expands back into the simulator's working representation.
     #[inline]
     pub fn unpack(&self) -> TraceOp {
-        // Fields only enter a PackedOp through `pack` or validated I/O,
-        // so decoding cannot fail.
+        // Fields only enter a PackedOp through `pack` or validated I/O, so
+        // decoding cannot fail. Debug builds assert that invariant; release
+        // builds (panic=abort) decay an impossible byte to Nop/None rather
+        // than turning a model bug into a lost sweep.
+        let kind = codec::unpack_kind(self.kind, self.aux, self.payload);
+        let dst = codec::decode_reg(self.dst);
+        let src1 = codec::decode_reg(self.src1);
+        let src2 = codec::decode_reg(self.src2);
+        debug_assert!(kind.is_ok(), "PackedOp holds a validated kind");
+        debug_assert!(dst.is_ok(), "PackedOp holds a validated dst");
+        debug_assert!(src1.is_ok(), "PackedOp holds a validated src1");
+        debug_assert!(src2.is_ok(), "PackedOp holds a validated src2");
         TraceOp {
             pc: self.pc,
-            kind: codec::unpack_kind(self.kind, self.aux, self.payload)
-                .expect("PackedOp holds a validated kind"),
-            dst: codec::decode_reg(self.dst).expect("PackedOp holds a validated dst"),
-            src1: codec::decode_reg(self.src1).expect("PackedOp holds a validated src1"),
-            src2: codec::decode_reg(self.src2).expect("PackedOp holds a validated src2"),
+            kind: kind.unwrap_or(OpKind::Nop),
+            dst: dst.unwrap_or(None),
+            src1: src1.unwrap_or(None),
+            src2: src2.unwrap_or(None),
         }
     }
 

@@ -36,7 +36,7 @@ const MAGIC: &[u8; 8] = b"AUR3TRC\0";
 const VERSION: u32 = codec::TRACE_FORMAT_VERSION;
 const RECORD_BYTES: usize = 20;
 
-fn bad(msg: String) -> io::Error {
+fn bad(msg: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("trace file: {msg}"))
 }
 
@@ -145,7 +145,7 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 8];
         source.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(bad("bad magic".into()));
+            return Err(bad("bad magic"));
         }
         let mut word = [0u8; 4];
         source.read_exact(&mut word)?;

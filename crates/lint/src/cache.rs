@@ -1,0 +1,487 @@
+//! Incremental analysis cache.
+//!
+//! Per-file facts are a pure function of the file's content (see
+//! [`crate::analyze_source`]), so they can be reused across runs as long
+//! as the content is unchanged. The cache keys each file by a [`Stamp`]:
+//! an `(mtime, size)` fast path that avoids hashing untouched files, and
+//! an FNV-1a content hash that survives `touch`/checkout mtime churn.
+//! Graph construction and rule evaluation always run fresh — they are
+//! cross-file and cheap compared to parsing.
+//!
+//! The on-disk format is line-based and versioned; any parse error or
+//! version mismatch silently yields an empty cache (it is only ever an
+//! optimization).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::facts::{Access, CallFact, Event, FnFacts};
+use crate::lexer::FieldDef;
+use crate::{FileAnalysis, Pragma};
+
+const MAGIC: &str = "aurora-lint-cache v2";
+
+/// Identity of one file's content at analysis time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamp {
+    pub mtime_s: u64,
+    pub mtime_ns: u32,
+    pub size: u64,
+    pub hash: u64,
+}
+
+impl Stamp {
+    pub fn of(path: &Path, src: &str) -> Stamp {
+        let (mtime_s, mtime_ns, size) = std::fs::metadata(path)
+            .ok()
+            .map(|m| {
+                let t = m
+                    .modified()
+                    .ok()
+                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                    .unwrap_or_default();
+                (t.as_secs(), t.subsec_nanos(), m.len())
+            })
+            .unwrap_or_default();
+        Stamp {
+            mtime_s,
+            mtime_ns,
+            size,
+            hash: crate::fnv1a64(src.as_bytes()),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (Stamp, FileAnalysis)>,
+}
+
+impl Cache {
+    /// Load a cache file; any error or format mismatch yields an empty
+    /// cache.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        parse(&text).unwrap_or_default()
+    }
+
+    /// Return the cached analysis for `rel` if its stamp still matches:
+    /// same `(mtime, size)` (fast path), or same content hash (slow path —
+    /// the stored mtime is refreshed so the fast path works next run).
+    pub fn lookup(&mut self, rel: &str, stamp: &Stamp) -> Option<FileAnalysis> {
+        let (cached, analysis) = self.entries.get_mut(rel)?;
+        let fast = cached.mtime_s == stamp.mtime_s
+            && cached.mtime_ns == stamp.mtime_ns
+            && cached.size == stamp.size;
+        if fast || cached.hash == stamp.hash {
+            *cached = stamp.clone();
+            return Some(analysis.clone());
+        }
+        None
+    }
+
+    pub fn insert(&mut self, rel: String, stamp: Stamp, analysis: FileAnalysis) {
+        self.entries.insert(rel, (stamp, analysis));
+    }
+
+    /// Best-effort write; cache failures never fail the lint run.
+    pub fn save(&self, path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, render(self));
+    }
+}
+
+// ------------------------------------------------------------ serialization
+
+/// Percent-encode: spaces, '%', control characters. The empty string is a
+/// lone "%" so every field occupies exactly one whitespace-split token.
+fn enc(s: &str) -> String {
+    if s.is_empty() {
+        return "%".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c == ' ' || c == '%' || c.is_control() {
+            let mut buf = [0u8; 4];
+            for b in c.encode_utf8(&mut buf).bytes() {
+                out.push_str(&format!("%{b:02x}"));
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn dec(s: &str) -> String {
+    if s == "%" {
+        return String::new();
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = s.get(i + 1..i + 3).unwrap_or("");
+            if let Ok(b) = u8::from_str_radix(hex, 16) {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn render(cache: &Cache) -> String {
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    for (rel, (stamp, a)) in &cache.entries {
+        out.push_str(&format!("file {}\n", enc(rel)));
+        out.push_str(&format!(
+            "stamp {} {} {} {}\n",
+            stamp.mtime_s, stamp.mtime_ns, stamp.size, stamp.hash
+        ));
+        for f in &a.facts.fns {
+            out.push_str(&format!(
+                "fn {} {} {} {} {} {}\n",
+                enc(&f.name),
+                enc(&f.self_ty),
+                f.decl_line,
+                f.end_line,
+                u8::from(f.in_test),
+                enc(&f.ret)
+            ));
+            for c in &f.calls {
+                match c {
+                    CallFact::Free { name, line } => {
+                        out.push_str(&format!("c f {} {line}\n", enc(name)));
+                    }
+                    CallFact::Qualified { ty, name, line } => {
+                        out.push_str(&format!("c q {} {} {line}\n", enc(ty), enc(name)));
+                    }
+                    CallFact::Method { chain, name, line } => {
+                        out.push_str(&format!("c m {} {} {line}\n", enc(chain), enc(name)));
+                    }
+                }
+            }
+            for e in &f.events {
+                match e {
+                    Event::Alloc { what, line } => {
+                        out.push_str(&format!("e a {} {line}\n", enc(what)));
+                    }
+                    Event::Panic { what, line } => {
+                        out.push_str(&format!("e p {} {line}\n", enc(what)));
+                    }
+                    Event::IndexOp { chain, line } => {
+                        out.push_str(&format!("e i {} {line}\n", enc(chain)));
+                    }
+                    Event::Nondet { what, line } => {
+                        out.push_str(&format!("e n {} {line}\n", enc(what)));
+                    }
+                    Event::HashIter { chain, line } => {
+                        out.push_str(&format!("e h {} {line}\n", enc(chain)));
+                    }
+                    Event::UnitMix { cyc, cnt, line } => {
+                        out.push_str(&format!("e u {} {} {line}\n", enc(cyc), enc(cnt)));
+                    }
+                    Event::Cast { ty, line } => {
+                        out.push_str(&format!("e c {} {line}\n", enc(ty)));
+                    }
+                }
+            }
+            for acc in &f.accesses {
+                out.push_str(&format!(
+                    "a {} {} {}\n",
+                    enc(&acc.chain),
+                    enc(&acc.field),
+                    acc.line
+                ));
+            }
+        }
+        for (name, line, fields) in &a.facts.structs {
+            out.push_str(&format!("s {} {line}\n", enc(name)));
+            for fd in fields {
+                out.push_str(&format!(
+                    "sf {} {} {} {}\n",
+                    enc(&fd.name),
+                    enc(&fd.ty),
+                    fd.line,
+                    u8::from(fd.public)
+                ));
+            }
+        }
+        for (name, value, line) in &a.facts.consts {
+            out.push_str(&format!("k {} {} {line}\n", enc(name), enc(value)));
+        }
+        for r in &a.facts.field_reads {
+            out.push_str(&format!("r {}\n", enc(r)));
+        }
+        for p in &a.pragmas {
+            out.push_str(&format!(
+                "p {} {} {} {}\n",
+                p.line,
+                p.target_line,
+                u8::from(p.reason_ok),
+                enc(&p.rules.join(","))
+            ));
+        }
+        for x in &a.externs {
+            out.push_str(&format!("x {x}\n"));
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut rel: Option<String> = None;
+    let mut stamp = Stamp {
+        mtime_s: 0,
+        mtime_ns: 0,
+        size: 0,
+        hash: 0,
+    };
+    let mut a = FileAnalysis::default();
+    for line in lines {
+        let toks: Vec<&str> = line.split(' ').collect();
+        match *toks.first()? {
+            "file" => rel = Some(dec(toks.get(1)?)),
+            "stamp" => {
+                stamp = Stamp {
+                    mtime_s: toks.get(1)?.parse().ok()?,
+                    mtime_ns: toks.get(2)?.parse().ok()?,
+                    size: toks.get(3)?.parse().ok()?,
+                    hash: toks.get(4)?.parse().ok()?,
+                }
+            }
+            "fn" => a.facts.fns.push(FnFacts {
+                name: dec(toks.get(1)?),
+                self_ty: dec(toks.get(2)?),
+                decl_line: toks.get(3)?.parse().ok()?,
+                end_line: toks.get(4)?.parse().ok()?,
+                in_test: *toks.get(5)? == "1",
+                ret: dec(toks.get(6)?),
+                calls: Vec::new(),
+                events: Vec::new(),
+                accesses: Vec::new(),
+            }),
+            "c" => {
+                let f = a.facts.fns.last_mut()?;
+                let call = match *toks.get(1)? {
+                    "f" => CallFact::Free {
+                        name: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "q" => CallFact::Qualified {
+                        ty: dec(toks.get(2)?),
+                        name: dec(toks.get(3)?),
+                        line: toks.get(4)?.parse().ok()?,
+                    },
+                    "m" => CallFact::Method {
+                        chain: dec(toks.get(2)?),
+                        name: dec(toks.get(3)?),
+                        line: toks.get(4)?.parse().ok()?,
+                    },
+                    _ => return None,
+                };
+                f.calls.push(call);
+            }
+            "e" => {
+                let f = a.facts.fns.last_mut()?;
+                let ev = match *toks.get(1)? {
+                    "a" => Event::Alloc {
+                        what: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "p" => Event::Panic {
+                        what: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "i" => Event::IndexOp {
+                        chain: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "n" => Event::Nondet {
+                        what: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "h" => Event::HashIter {
+                        chain: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "u" => Event::UnitMix {
+                        cyc: dec(toks.get(2)?),
+                        cnt: dec(toks.get(3)?),
+                        line: toks.get(4)?.parse().ok()?,
+                    },
+                    "c" => Event::Cast {
+                        ty: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    _ => return None,
+                };
+                f.events.push(ev);
+            }
+            "a" => {
+                let f = a.facts.fns.last_mut()?;
+                f.accesses.push(Access {
+                    chain: dec(toks.get(1)?),
+                    field: dec(toks.get(2)?),
+                    line: toks.get(3)?.parse().ok()?,
+                });
+            }
+            "s" => {
+                a.facts
+                    .structs
+                    .push((dec(toks.get(1)?), toks.get(2)?.parse().ok()?, Vec::new()))
+            }
+            "sf" => {
+                let (_, _, fields) = a.facts.structs.last_mut()?;
+                fields.push(FieldDef {
+                    name: dec(toks.get(1)?),
+                    ty: dec(toks.get(2)?),
+                    line: toks.get(3)?.parse().ok()?,
+                    public: *toks.get(4)? == "1",
+                });
+            }
+            "k" => a.facts.consts.push((
+                dec(toks.get(1)?),
+                dec(toks.get(2)?),
+                toks.get(3)?.parse().ok()?,
+            )),
+            "r" => a.facts.field_reads.push(dec(toks.get(1)?)),
+            "p" => {
+                let joined = dec(toks.get(4)?);
+                a.pragmas.push(Pragma {
+                    line: toks.get(1)?.parse().ok()?,
+                    target_line: toks.get(2)?.parse().ok()?,
+                    reason_ok: *toks.get(3)? == "1",
+                    rules: if joined.is_empty() {
+                        Vec::new()
+                    } else {
+                        joined.split(',').map(str::to_string).collect()
+                    },
+                });
+            }
+            "x" => a.externs.push(toks.get(1)?.parse().ok()?),
+            "end" => {
+                cache
+                    .entries
+                    .insert(rel.take()?, (stamp.clone(), std::mem::take(&mut a)));
+            }
+            _ => return None,
+        }
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_analysis() -> FileAnalysis {
+        crate::analyze_source(
+            r#"
+            // lint:allow(L001): bounded by warm-up
+            pub struct S { pub total_cycles: u64 }
+            pub const TAG: u8 = 3;
+            impl S {
+                pub fn go(&mut self, xs: &[u64]) -> u64 {
+                    let v = xs.to_vec(); // lint:extern
+                    self.total_cycles += v.len() as u64;
+                    helper(v[0])
+                }
+            }
+            fn helper(x: u64) -> u64 { x.wrapping_add(1) }
+            "#,
+        )
+    }
+
+    #[test]
+    fn analysis_round_trips_through_the_line_format() {
+        let a = sample_analysis();
+        let stamp = Stamp {
+            mtime_s: 1754000000,
+            mtime_ns: 123456789,
+            size: 420,
+            hash: 0xdead_beef_cafe_f00d,
+        };
+        let mut cache = Cache::default();
+        cache.insert("crates/x/src/lib.rs".to_string(), stamp.clone(), a.clone());
+        let text = render(&cache);
+        let mut reloaded = parse(&text).expect("round-trip parse");
+        let hit = reloaded
+            .lookup("crates/x/src/lib.rs", &stamp)
+            .expect("stamp should hit");
+        assert_eq!(hit, a);
+    }
+
+    #[test]
+    fn hash_match_survives_mtime_churn() {
+        let a = sample_analysis();
+        let old = Stamp {
+            mtime_s: 100,
+            mtime_ns: 0,
+            size: 10,
+            hash: 42,
+        };
+        let mut cache = Cache::default();
+        cache.insert("f.rs".to_string(), old, a.clone());
+        // Same content hash, different mtime (e.g. fresh checkout).
+        let touched = Stamp {
+            mtime_s: 999,
+            mtime_ns: 7,
+            size: 10,
+            hash: 42,
+        };
+        assert_eq!(cache.lookup("f.rs", &touched), Some(a));
+        // And the stored stamp was refreshed for the next fast path.
+        let again = cache.lookup("f.rs", &touched);
+        assert!(again.is_some());
+    }
+
+    #[test]
+    fn content_change_misses() {
+        let a = sample_analysis();
+        let old = Stamp {
+            mtime_s: 100,
+            mtime_ns: 0,
+            size: 10,
+            hash: 42,
+        };
+        let mut cache = Cache::default();
+        cache.insert("f.rs".to_string(), old, a);
+        let edited = Stamp {
+            mtime_s: 999,
+            mtime_ns: 0,
+            size: 11,
+            hash: 43,
+        };
+        assert_eq!(cache.lookup("f.rs", &edited), None);
+    }
+
+    #[test]
+    fn garbage_and_version_mismatch_yield_empty() {
+        assert!(parse("not a cache").is_none());
+        assert!(parse("aurora-lint-cache v1\nfile x\n").is_none());
+    }
+
+    #[test]
+    fn percent_encoding_round_trips() {
+        for s in ["", "a b", "100%", "a%20b", "x\ty", "plain", "f:a~b.m:c"] {
+            assert_eq!(dec(&enc(s)), s, "{s:?}");
+        }
+    }
+}

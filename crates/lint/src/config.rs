@@ -36,11 +36,14 @@ impl Value {
     }
 }
 
-/// One `[[hot]]` entry: a file and its designated hot-path functions.
+/// One `[[hot]]` entry: a file and its declared hot-path *roots*. The
+/// analyzer computes the full hot set transitively from these over the
+/// workspace call graph — leaf helpers are no longer listed here.
 #[derive(Debug, Clone, Default)]
 pub struct HotFile {
     pub file: String,
-    pub functions: Vec<String>,
+    /// Root declarations: `"name"` or `"Type::name"`.
+    pub roots: Vec<String>,
 }
 
 /// `[stats]` — where the counter structs live and where reads may come from.
@@ -77,6 +80,11 @@ pub struct LintConfig {
     pub config_coverage: ConfigCoverage,
     pub trace_format: TraceFormat,
     pub narrowing_files: Vec<String>,
+    /// `[determinism] files`: everything reachable from the functions in
+    /// these files must be free of L007 nondeterminism sources.
+    pub determinism_files: Vec<String>,
+    /// `[units] files`: path prefixes where L008 unit-mixing is checked.
+    pub units_files: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -172,12 +180,20 @@ impl LintConfig {
                     .ok_or_else(|| err("no [[hot]] entry open"))?;
                 entry.file = want_str(&value)?;
             }
-            ("hot", "functions") => {
+            ("hot", "roots") => {
                 let entry = self
                     .hot
                     .last_mut()
                     .ok_or_else(|| err("no [[hot]] entry open"))?;
-                entry.functions = want_list(&value)?;
+                entry.roots = want_list(&value)?;
+            }
+            ("hot", "functions") => {
+                return Err(err(
+                    "[[hot]] `functions` lists were replaced by `roots`: the analyzer now \
+                     computes reachable hot functions transitively over the workspace call \
+                     graph. Declare only the entry points (e.g. roots = [\"Simulator::feed\"]) \
+                     and delete the exhaustive function list — see docs/LINTS.md",
+                ))
             }
             ("stats", "file") => self.stats.file = want_str(&value)?,
             ("stats", "structs") => self.stats.structs = want_list(&value)?,
@@ -193,6 +209,8 @@ impl LintConfig {
             }
             ("trace_format", "record") => self.trace_format.record = want_str(&value)?,
             ("narrowing", "files") => self.narrowing_files = want_list(&value)?,
+            ("determinism", "files") => self.determinism_files = want_list(&value)?,
+            ("units", "files") => self.units_files = want_list(&value)?,
             _ => {
                 return Err(err(&format!(
                     "unknown key `{key}` in section `[{section}]`"
@@ -335,14 +353,14 @@ exclude = ["target", "vendor"]
 
 [[hot]]
 file = "crates/core/src/sim.rs"
-functions = [
-    "issue_pair", # trailing comment
+roots = [
+    "Simulator::feed", # trailing comment
     "advance_to",
 ]
 
 [[hot]]
 file = "crates/mem/src/mshr.rs"
-functions = ["probe"]
+roots = ["MshrFile::probe"]
 
 [stats]
 file = "crates/core/src/stats.rs"
@@ -363,20 +381,36 @@ record = "crates/isa/trace_format.fp"
 
 [narrowing]
 files = ["crates/isa/src/codec.rs"]
+
+[determinism]
+files = ["crates/core/src/sim.rs"]
+
+[units]
+files = ["crates/core"]
 "##;
         let cfg = LintConfig::parse(text).unwrap();
         assert_eq!(cfg.exclude, vec!["target", "vendor"]);
         assert_eq!(cfg.hot.len(), 2);
-        assert_eq!(cfg.hot[0].functions, vec!["issue_pair", "advance_to"]);
+        assert_eq!(cfg.hot[0].roots, vec!["Simulator::feed", "advance_to"]);
         assert_eq!(cfg.hot[1].file, "crates/mem/src/mshr.rs");
         assert_eq!(cfg.stats.structs, vec!["SimStats"]);
         assert_eq!(cfg.config_coverage.struct_name, "MachineConfig");
         assert_eq!(cfg.trace_format.record, "crates/isa/trace_format.fp");
         assert_eq!(cfg.narrowing_files.len(), 1);
+        assert_eq!(cfg.determinism_files, vec!["crates/core/src/sim.rs"]);
+        assert_eq!(cfg.units_files, vec!["crates/core"]);
     }
 
     #[test]
     fn rejects_unknown_keys() {
         assert!(LintConfig::parse("bogus = 3").is_err());
+    }
+
+    #[test]
+    fn legacy_functions_key_gets_a_migration_error() {
+        let err = LintConfig::parse("[[hot]]\nfile = \"a.rs\"\nfunctions = [\"feed\"]\n")
+            .expect_err("legacy schema must be rejected, not ignored");
+        assert!(err.to_string().contains("roots"), "{err}");
+        assert!(err.to_string().contains("transitively"), "{err}");
     }
 }

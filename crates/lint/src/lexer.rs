@@ -228,6 +228,71 @@ fn skip_quote(chars: &[char], start: usize, line: &mut u32) -> usize {
     }
 }
 
+/// `(line, text-after-"//")` for every line comment, skipping string and
+/// char literals — prose that merely *contains* `//` inside a literal (an
+/// explain string, a test fixture embedded in a raw string) can never
+/// register as a comment, and therefore never as a pragma.
+pub fn comment_lines(src: &str) -> Vec<(u32, String)> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.push((line, chars[start..j].iter().collect()));
+            i = j;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            i = skip_string(&chars, i, &mut line);
+        } else if c == '\'' {
+            i = skip_quote(&chars, i, &mut line);
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if i < n && matches!(text.as_str(), "r" | "b" | "br" | "rb") {
+                match chars[i] {
+                    '"' if text == "b" => i = skip_string(&chars, i, &mut line),
+                    '"' | '#' if text != "b" => i = skip_raw_string(&chars, i, &mut line),
+                    '\'' if text == "b" => i = skip_quote(&chars, i, &mut line),
+                    _ => {}
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
 /// A resolved `fn` item: name, declaration line, and the token range of its
 /// body (from the opening `{` through the matching `}` inclusive).
 #[derive(Debug, Clone)]
@@ -304,7 +369,7 @@ pub fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
 }
 
 /// A named struct field declaration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldDef {
     pub name: String,
     pub ty: String,
@@ -333,6 +398,35 @@ pub fn struct_fields(toks: &[Tok], name: &str) -> Option<Vec<FieldDef>> {
         i += 1;
     }
     None
+}
+
+/// Enumerate every named-field struct declared in the token stream with
+/// its fields. Tuple and unit structs appear with an empty field list.
+pub fn all_structs(toks: &[Tok]) -> Vec<(String, u32, Vec<FieldDef>)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("struct") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            let mut j = i + 2;
+            let mut fields = Vec::new();
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "{" if toks[j].kind == TokKind::Punct => {
+                        fields = parse_fields(toks, j);
+                        break;
+                    }
+                    "(" | ";" if toks[j].kind == TokKind::Punct => break,
+                    _ => j += 1,
+                }
+            }
+            out.push((name, line, fields));
+            i = j;
+        }
+        i += 1;
+    }
+    out
 }
 
 fn parse_fields(toks: &[Tok], open: usize) -> Vec<FieldDef> {

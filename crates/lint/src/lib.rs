@@ -4,36 +4,49 @@
 //! The simulator's correctness rests on invariants that ordinary tests
 //! cannot see: the hot loop must stay allocation- and panic-free, every
 //! counter the model accumulates must be consumed by a report, every config
-//! knob must be exercised by a sweep, and the packed trace layout must
-//! never drift without a `TRACE_FORMAT_VERSION` bump. This crate walks the
-//! workspace source with a hand-rolled lexer (no `syn` — tier-1 builds
-//! offline) and enforces those invariants as lint rules L001–L006.
+//! knob must be exercised by a sweep, the packed trace layout must never
+//! drift without a `TRACE_FORMAT_VERSION` bump, replay must be
+//! deterministic, and cycle values must not silently mix with counts. This
+//! crate parses the workspace source with a hand-rolled recursive-descent
+//! parser (no `syn` — tier-1 builds offline), builds a workspace-wide call
+//! graph, and enforces those invariants as lint rules L000–L009.
+//!
+//! The pipeline has two phases:
+//!
+//! 1. **Per-file** (pure, cacheable, parallel): lex → parse →
+//!    [`facts::extract`] produces a [`facts::FileFacts`] — call sites with
+//!    receiver *chain descriptors*, rule-relevant events, struct layouts.
+//! 2. **Workspace** (always fresh): [`graph::Graph`] resolves chains
+//!    against the symbol index, computes reachability from the hot roots
+//!    declared in `lint.toml`, and [`rules`] walks the result.
 //!
 //! Findings are suppressed inline with `// lint:allow(L0xx): <reason>`;
 //! the reason is mandatory, and a pragma without one is itself a finding
-//! (L000). See `docs/LINTS.md` for the full rule catalogue.
+//! (L000), while a pragma that no longer suppresses anything is an error
+//! too (L009). `// lint:extern` marks a line's calls as deliberately
+//! unresolvable (dynamic dispatch). See `docs/LINTS.md` for the catalogue.
 
+pub mod ast;
+pub mod cache;
 pub mod config;
+pub mod facts;
+pub mod graph;
 pub mod lexer;
+pub mod output;
+pub mod parser;
 pub mod rules;
 
-use std::collections::BTreeMap;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use cache::Cache;
 use config::LintConfig;
-use lexer::{FnSpan, Tok};
-
-/// One analyzed source file.
-pub struct FileData {
-    /// Path relative to the workspace root, `/`-separated.
-    pub rel: String,
-    pub toks: Vec<Tok>,
-    pub fns: Vec<FnSpan>,
-    pub pragmas: Vec<Pragma>,
-}
+use facts::FileFacts;
 
 /// An inline `lint:allow(L0xx, ...): reason` comment suppression.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pragma {
     pub line: u32,
     /// The first non-comment line at or below the pragma: the code the
@@ -65,56 +78,165 @@ pub struct Report {
     pub files_scanned: usize,
 }
 
+/// Everything derived from one file's content. A pure function of the
+/// source text, which is what makes it safe to cache by content hash.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileAnalysis {
+    pub facts: FileFacts,
+    pub pragmas: Vec<Pragma>,
+    /// Lines carrying a `// lint:extern` marker.
+    pub externs: Vec<u32>,
+}
+
+/// Lex, parse and extract facts from one file's source.
+pub fn analyze_source(src: &str) -> FileAnalysis {
+    let toks = lexer::lex(src);
+    let parsed = parser::parse_file(&toks);
+    let facts = facts::extract(
+        &parsed.fns,
+        lexer::all_structs(&toks),
+        lexer::numeric_consts(&toks),
+    );
+    FileAnalysis {
+        facts,
+        pragmas: scan_pragmas(src),
+        externs: scan_externs(src),
+    }
+}
+
 pub struct Workspace {
     pub root: PathBuf,
-    pub files: BTreeMap<String, FileData>,
+    /// `(rel path, facts)`, sorted by path — the slice [`graph::Graph`]
+    /// borrows, so file indices here are the graph's file indices.
+    pub files: Vec<(String, FileFacts)>,
+    /// Index-aligned with `files`.
+    pub pragmas: Vec<Vec<Pragma>>,
+    /// Index-aligned with `files`.
+    pub externs: Vec<Vec<u32>>,
 }
 
 impl Workspace {
-    pub fn file(&self, rel: &str) -> Option<&FileData> {
-        self.files.get(rel)
+    pub fn idx(&self, rel: &str) -> Option<usize> {
+        self.files
+            .binary_search_by(|(r, _)| r.as_str().cmp(rel))
+            .ok()
+    }
+
+    pub fn facts_of(&self, rel: &str) -> Option<&FileFacts> {
+        self.idx(rel).map(|i| &self.files[i].1)
+    }
+
+    /// All `(file index, line)` pairs marked `// lint:extern`.
+    pub fn extern_lines(&self) -> HashSet<(usize, u32)> {
+        let mut out = HashSet::new();
+        for (fi, lines) in self.externs.iter().enumerate() {
+            for &l in lines {
+                out.insert((fi, l));
+            }
+        }
+        out
     }
 }
 
 /// Analyze the workspace rooted at `root` (the directory holding
-/// `lint.toml`). Returns the post-suppression report.
+/// `lint.toml`). Returns the post-suppression report. No cache: tests and
+/// library callers always see fresh facts.
 pub fn analyze(root: &Path) -> Result<Report, String> {
     let cfg = LintConfig::load(&root.join("lint.toml")).map_err(|e| e.to_string())?;
-    analyze_with(root, &cfg)
+    analyze_with(root, &cfg, None)
 }
 
-pub fn analyze_with(root: &Path, cfg: &LintConfig) -> Result<Report, String> {
-    let ws = load_workspace(root, cfg)?;
+pub fn analyze_with(
+    root: &Path,
+    cfg: &LintConfig,
+    cache: Option<&mut Cache>,
+) -> Result<Report, String> {
+    let ws = load_workspace_cached(root, cfg, cache)?;
     let raw = rules::run_all(&ws, cfg);
     Ok(apply_pragmas(&ws, raw))
 }
 
-/// Load and lex every `.rs` file under `root` not excluded by the config.
+/// Load and analyze every `.rs` file under `root` not excluded by the
+/// config.
 pub fn load_workspace(root: &Path, cfg: &LintConfig) -> Result<Workspace, String> {
-    let mut files = BTreeMap::new();
+    load_workspace_cached(root, cfg, None)
+}
+
+/// Like [`load_workspace`], reusing cached per-file analyses for files
+/// whose content is unchanged (mtime+size fast path, FNV hash slow path).
+pub fn load_workspace_cached(
+    root: &Path,
+    cfg: &LintConfig,
+    mut cache: Option<&mut Cache>,
+) -> Result<Workspace, String> {
     let mut paths = Vec::new();
     collect_rs(root, root, &cfg.exclude, &mut paths)?;
+    let mut done: Vec<(String, FileAnalysis)> = Vec::new();
+    let mut jobs: Vec<(String, String, cache::Stamp)> = Vec::new();
     for path in paths {
         let rel = rel_path(root, &path);
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let toks = lexer::lex(&src);
-        let fns = lexer::fn_spans(&toks);
-        let pragmas = scan_pragmas(&src);
-        files.insert(
-            rel.clone(),
-            FileData {
-                rel,
-                toks,
-                fns,
-                pragmas,
-            },
-        );
+        let stamp = cache::Stamp::of(&path, &src);
+        if let Some(c) = cache.as_deref_mut() {
+            if let Some(hit) = c.lookup(&rel, &stamp) {
+                done.push((rel, hit));
+                continue;
+            }
+        }
+        jobs.push((rel, src, stamp));
     }
-    Ok(Workspace {
+    let parsed = parse_parallel(&jobs);
+    if let Some(c) = cache {
+        for ((rel, _, stamp), (_, analysis)) in jobs.iter().zip(&parsed) {
+            c.insert(rel.clone(), stamp.clone(), analysis.clone());
+        }
+    }
+    done.extend(parsed);
+    done.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut ws = Workspace {
         root: root.to_path_buf(),
-        files,
-    })
+        files: Vec::with_capacity(done.len()),
+        pragmas: Vec::with_capacity(done.len()),
+        externs: Vec::with_capacity(done.len()),
+    };
+    for (rel, a) in done {
+        ws.files.push((rel, a.facts));
+        ws.pragmas.push(a.pragmas);
+        ws.externs.push(a.externs);
+    }
+    Ok(ws)
+}
+
+/// Run [`analyze_source`] over the cache-miss files, fanning out across
+/// threads. Order of the result is irrelevant — the caller sorts by path.
+fn parse_parallel(jobs: &[(String, String, cache::Stamp)]) -> Vec<(String, FileAnalysis)> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(jobs.len());
+    if workers <= 1 {
+        return jobs
+            .iter()
+            .map(|(rel, src, _)| (rel.clone(), analyze_source(src)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<(String, FileAnalysis)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((rel, src, _)) = jobs.get(i) else {
+                    break;
+                };
+                let a = analyze_source(src);
+                out.lock().expect("analysis mutex").push((rel.clone(), a));
+            });
+        }
+    });
+    out.into_inner().expect("analysis mutex")
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {
@@ -157,38 +279,31 @@ fn collect_rs(
     Ok(())
 }
 
-/// Scan raw source lines for suppression pragmas. This runs on the raw text
-/// (not the token stream) because pragmas live inside comments, which the
-/// lexer discards.
+/// Scan source comments for suppression pragmas. Comments are located by a
+/// string-literal-aware walk ([`lexer::comment_lines`]) so that prose which
+/// merely *mentions* the pragma syntax inside a string (an explain text, a
+/// fixture embedded in a raw literal) never registers as a suppression.
 pub fn scan_pragmas(src: &str) -> Vec<Pragma> {
-    let lines: Vec<&str> = src.lines().collect();
+    let comments = lexer::comment_lines(src);
+    let code_lines: Vec<u32> = lexer::lex(src).iter().map(|t| t.line).collect();
     let mut out = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        let Some(comment) = line.find("//") else {
-            continue;
-        };
-        // The pragma must be the comment's leading content; this keeps prose
-        // that merely *mentions* the pragma syntax (docs, explain strings)
-        // from registering as a suppression.
-        let body = line[comment + 2..]
-            .trim_start_matches(['/', '!'])
-            .trim_start();
+    for (line, text) in comments {
+        // The pragma must be the comment's leading content.
+        let body = text.trim_start_matches(['/', '!']).trim_start();
         if !body.starts_with("lint:allow(") {
             continue;
         }
-        // The pragma attaches to the first following non-comment line, so a
-        // long reason may wrap across several comment lines.
-        let target_line = (idx + 1..lines.len())
-            .find(|&j| {
-                let t = lines[j].trim_start();
-                !t.is_empty() && !t.starts_with("//")
-            })
-            .map(|j| (j + 1) as u32)
-            .unwrap_or((idx + 1) as u32);
+        // The pragma attaches to the first following line that carries code,
+        // so a long reason may wrap across several comment lines.
+        let target_line = code_lines
+            .iter()
+            .copied()
+            .find(|&l| l > line)
+            .unwrap_or(line);
         let after = &body["lint:allow(".len()..];
         let Some(close) = after.find(')') else {
             out.push(Pragma {
-                line: (idx + 1) as u32,
+                line,
                 target_line,
                 rules: Vec::new(),
                 reason_ok: false,
@@ -207,7 +322,7 @@ pub fn scan_pragmas(src: &str) -> Vec<Pragma> {
         let rest = after[close + 1..].trim_start();
         let reason_ok = well_formed_ids && rest.starts_with(':') && !rest[1..].trim().is_empty();
         out.push(Pragma {
-            line: (idx + 1) as u32,
+            line,
             target_line,
             rules: ids,
             reason_ok,
@@ -216,8 +331,40 @@ pub fn scan_pragmas(src: &str) -> Vec<Pragma> {
     out
 }
 
+/// Scan for `// lint:extern` markers: a trailing marker applies to its own
+/// line, a standalone comment line applies to the next non-comment line.
+/// Calls on a marked line resolve to no graph edges — the escape hatch for
+/// dynamic dispatch and function pointers the resolver cannot follow.
+pub fn scan_externs(src: &str) -> Vec<u32> {
+    let code_lines: Vec<u32> = lexer::lex(src).iter().map(|t| t.line).collect();
+    let mut out = Vec::new();
+    for (line, text) in lexer::comment_lines(src) {
+        let body = text.trim_start_matches(['/', '!']).trim_start();
+        if !body.starts_with("lint:extern") {
+            continue;
+        }
+        // A trailing marker (the comment shares its line with code) applies
+        // to its own line; a standalone comment to the next code line.
+        let target = if code_lines.binary_search(&line).is_ok() {
+            line
+        } else {
+            code_lines
+                .iter()
+                .copied()
+                .find(|&l| l > line)
+                .unwrap_or(line)
+        };
+        out.push(target);
+    }
+    out
+}
+
 /// Fold pragmas into the raw findings: well-formed pragmas suppress
-/// matching findings, malformed ones become L000 findings themselves.
+/// matching findings, malformed ones become L000 findings, and well-formed
+/// pragmas that suppressed *nothing* become L009 findings (stale allows
+/// rot just like dead counters — they silently disable a rule at a site
+/// that no longer needs it). L000/L009 are produced after suppression and
+/// therefore cannot themselves be allowed away.
 ///
 /// A pragma applies to findings on its own line and on its target line —
 /// the first non-comment line below it. When the target line declares a
@@ -226,36 +373,58 @@ pub fn scan_pragmas(src: &str) -> Vec<Pragma> {
 fn apply_pragmas(ws: &Workspace, raw: Vec<Finding>) -> Report {
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
+    let mut used: HashSet<(usize, usize, String)> = HashSet::new();
     for f in raw {
-        let covered = ws
-            .file(&f.file)
-            .map(|fd| {
-                fd.pragmas.iter().any(|p| {
-                    p.reason_ok
-                        && p.rules.iter().any(|r| r == f.rule)
-                        && pragma_covers(fd, p, f.line)
-                })
-            })
-            .unwrap_or(false);
+        let mut covered = false;
+        if let Some(fi) = ws.idx(&f.file) {
+            for (pi, p) in ws.pragmas[fi].iter().enumerate() {
+                if p.reason_ok
+                    && p.rules.iter().any(|r| r == f.rule)
+                    && pragma_covers(&ws.files[fi].1, p, f.line)
+                {
+                    used.insert((fi, pi, f.rule.to_string()));
+                    covered = true;
+                }
+            }
+        }
         if covered {
             suppressed += 1;
         } else {
             findings.push(f);
         }
     }
-    for fd in ws.files.values() {
-        for p in fd.pragmas.iter().filter(|p| !p.reason_ok) {
-            findings.push(Finding {
-                file: fd.rel.clone(),
-                line: p.line,
-                rule: "L000",
-                msg: "suppression pragma is malformed or missing its mandatory `: <reason>`"
-                    .to_string(),
-            });
+    for (fi, (rel, _)) in ws.files.iter().enumerate() {
+        for (pi, p) in ws.pragmas[fi].iter().enumerate() {
+            if !p.reason_ok {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: p.line,
+                    rule: "L000",
+                    msg: "suppression pragma is malformed or missing its mandatory `: <reason>`"
+                        .to_string(),
+                });
+                continue;
+            }
+            for r in &p.rules {
+                if !used.contains(&(fi, pi, r.clone())) {
+                    findings.push(Finding {
+                        file: rel.clone(),
+                        line: p.line,
+                        rule: "L009",
+                        msg: format!(
+                            "stale pragma: `lint:allow({r})` suppresses nothing — {r} no longer \
+                             fires on its target; delete the pragma or drop {r} from it"
+                        ),
+                    });
+                }
+            }
         }
     }
     findings.sort();
-    findings.dedup();
+    // One diagnostic per (file, line, rule): distinct events on the same
+    // line (e.g. an allocating constructor seen through two extractors)
+    // collapse into the lexicographically-first message.
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
     Report {
         findings,
         suppressed,
@@ -263,13 +432,14 @@ fn apply_pragmas(ws: &Workspace, raw: Vec<Finding>) -> Report {
     }
 }
 
-fn pragma_covers(fd: &FileData, p: &Pragma, line: u32) -> bool {
+fn pragma_covers(facts: &FileFacts, p: &Pragma, line: u32) -> bool {
     if p.line == line || p.target_line == line {
         return true;
     }
     // Function-level coverage: the pragma's target line is the `fn`
     // declaration itself, and the finding is inside that function's body.
-    fd.fns
+    facts
+        .fns
         .iter()
         .any(|s| s.decl_line == p.target_line && line >= s.decl_line && line <= s.end_line)
 }
@@ -285,4 +455,15 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
             return None;
         }
     }
+}
+
+/// FNV-1a 64-bit — used for both the trace-format fingerprint and the
+/// facts-cache content hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }

@@ -2,16 +2,27 @@
 //!
 //! ```text
 //! aurora-lint                 # analyze the workspace, exit 1 on findings
+//! aurora-lint --format sarif  # machine-readable findings on stdout
+//! aurora-lint --graph         # dump the transitive hot set with chains
 //! aurora-lint --explain L002  # print the rationale for a rule
 //! aurora-lint --fingerprint   # print the trace-format record file contents
 //! aurora-lint --root <dir>    # analyze a different workspace root
+//! aurora-lint --no-cache      # ignore target/aurora-lint.cache
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use aurora_lint::cache::Cache;
 use aurora_lint::config::LintConfig;
-use aurora_lint::{analyze, find_root, load_workspace, rules};
+use aurora_lint::{analyze_with, find_root, load_workspace, output, rules};
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +31,9 @@ fn main() -> ExitCode {
     let mut fingerprint = false;
     let mut canonical = false;
     let mut list = false;
+    let mut graph = false;
+    let mut no_cache = false;
+    let mut format = Format::Text;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,9 +51,20 @@ fn main() -> ExitCode {
                     None => return usage("--explain needs a rule id (e.g. L002)"),
                 }
             }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    _ => return usage("--format needs one of: text, json, sarif"),
+                };
+            }
             "--fingerprint" => fingerprint = true,
             "--canonical" => canonical = true,
             "--list" => list = true,
+            "--graph" => graph = true,
+            "--no-cache" => no_cache = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -72,15 +97,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let cfg = match LintConfig::load(&root.join("lint.toml")) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("aurora-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if fingerprint || canonical {
-        let cfg = match LintConfig::load(&root.join("lint.toml")) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("aurora-lint: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
         let ws = match load_workspace(&root, &cfg) {
             Ok(ws) => ws,
             Err(e) => {
@@ -111,32 +136,75 @@ fn main() -> ExitCode {
         };
     }
 
-    match analyze(&root) {
-        Ok(report) => {
+    if graph {
+        let ws = match load_workspace(&root, &cfg) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("aurora-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", rules::graph_report(&ws, &cfg));
+        return ExitCode::SUCCESS;
+    }
+
+    let cache_path = root.join("target/aurora-lint.cache");
+    let mut cache = if no_cache {
+        None
+    } else {
+        Some(Cache::load(&cache_path))
+    };
+    let report = match analyze_with(&root, &cfg, cache.as_mut()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("aurora-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(c) = &cache {
+        c.save(&cache_path);
+    }
+
+    // Machine formats own stdout; the human summary moves to stderr so a
+    // redirect captures a clean document either way.
+    match format {
+        Format::Json => print!("{}", output::render_json(&report)),
+        Format::Sarif => print!("{}", output::render_sarif(&report)),
+        Format::Text => {
             for f in &report.findings {
                 println!("{f}");
             }
-            if report.findings.is_empty() {
-                println!(
-                    "aurora-lint: clean — {} files scanned, {} finding(s) suppressed by pragma",
-                    report.files_scanned, report.suppressed
-                );
-                ExitCode::SUCCESS
-            } else {
-                println!(
-                    "aurora-lint: {} finding(s) across {} files ({} suppressed); \
-                     run `aurora-lint --explain <rule>` for rationale",
-                    report.findings.len(),
-                    report.files_scanned,
-                    report.suppressed
-                );
-                ExitCode::FAILURE
-            }
         }
-        Err(e) => {
-            eprintln!("aurora-lint: {e}");
-            ExitCode::FAILURE
+    }
+    let summary = |to_stderr: bool, msg: String| {
+        if to_stderr {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
         }
+    };
+    let machine = format != Format::Text;
+    if report.findings.is_empty() {
+        summary(
+            machine,
+            format!(
+                "aurora-lint: clean — {} files scanned, {} finding(s) suppressed by pragma",
+                report.files_scanned, report.suppressed
+            ),
+        );
+        ExitCode::SUCCESS
+    } else {
+        summary(
+            machine,
+            format!(
+                "aurora-lint: {} finding(s) across {} files ({} suppressed); \
+                 run `aurora-lint --explain <rule>` for rationale",
+                report.findings.len(),
+                report.files_scanned,
+                report.suppressed
+            ),
+        );
+        ExitCode::FAILURE
     }
 }
 
@@ -145,11 +213,15 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("aurora-lint: {err}");
     }
     eprintln!(
-        "usage: aurora-lint [--root <dir>] [--explain L0xx] [--fingerprint] [--list]\n\
+        "usage: aurora-lint [--root <dir>] [--format text|json|sarif] [--graph]\n\
+         \x20                  [--explain L0xx] [--fingerprint] [--list] [--no-cache]\n\
          \n\
-         Walks the workspace rooted at the nearest lint.toml and enforces the\n\
-         hot-path, dead-counter, config-coverage and trace-format invariants.\n\
-         Exits non-zero when any unsuppressed finding remains."
+         Parses the workspace rooted at the nearest lint.toml, builds the\n\
+         cross-crate call graph, and enforces the hot-path, dead-counter,\n\
+         config-coverage, trace-format, determinism and unit-safety\n\
+         invariants. Hot-path and determinism rules propagate transitively\n\
+         from the roots declared in lint.toml. Exits non-zero when any\n\
+         unsuppressed finding remains."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -1,50 +1,24 @@
-//! The six lint rules. Each rule walks the pre-lexed token streams in a
-//! `Workspace` and emits raw findings; suppression is applied by the caller.
+//! The rule engine. Every rule consumes the per-file [`crate::facts`] plus
+//! the workspace [`Graph`]; suppression is applied by the caller (`lib.rs`),
+//! which also owns the pragma-hygiene rules L000/L009.
+
+use std::collections::HashMap;
 
 use crate::config::LintConfig;
-use crate::lexer::{self, Tok, TokKind};
-use crate::{FileData, Finding, Workspace};
-
-/// Methods whose stable-sort / copy / collection semantics allocate.
-const ALLOC_METHODS: &[&str] = &[
-    "clone",
-    "to_vec",
-    "to_owned",
-    "to_string",
-    "collect",
-    "sort",
-    "sort_by",
-    "sort_by_key",
-];
-
-/// Macros that allocate.
-const ALLOC_MACROS: &[&str] = &["format", "vec"];
-
-/// Heap collection types that have no place in the hot loop.
-const ALLOC_TYPES: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
-
-/// Constructors that allocate when reached through a path call.
-const ALLOC_PATH_HEADS: &[&str] = &["Box", "Vec", "VecDeque", "String"];
-const ALLOC_PATH_TAILS: &[&str] = &["new", "with_capacity", "from"];
-
-/// Methods that can panic.
-const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
-
-/// Macros that panic.
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-
-/// Cast targets L006 treats as narrowing. `u64`/`i64`/floats are excluded:
-/// on every supported target they cannot lose integer bits that the codec
-/// cares about, while `usize` can (32-bit hosts).
-const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize"];
+use crate::facts::{Event, NARROW_TARGETS};
+use crate::graph::{head, path_matches, peel_refs, FnId, Graph};
+use crate::{Finding, Workspace};
 
 pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Finding> {
+    let graph = Graph::new(&ws.files, ws.extern_lines());
     let mut out = Vec::new();
-    hot_path_rules(ws, cfg, &mut out);
+    hot_path_rules(ws, cfg, &graph, &mut out);
     dead_counters(ws, cfg, &mut out);
-    config_coverage(ws, cfg, &mut out);
+    config_coverage(ws, cfg, &graph, &mut out);
     trace_format(ws, cfg, &mut out);
     narrowing_casts(ws, cfg, &mut out);
+    determinism(ws, cfg, &graph, &mut out);
+    unit_mixing(ws, cfg, &mut out);
     out
 }
 
@@ -59,9 +33,12 @@ fn finding(file: &str, line: u32, rule: &'static str, msg: String) -> Finding {
 
 // ---------------------------------------------------------------- L001/L002
 
-fn hot_path_rules(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+/// Resolve the configured hot roots, reporting config drift (missing file
+/// or root) as L001 findings.
+fn hot_roots(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Finding>) -> Vec<FnId> {
+    let mut roots = Vec::new();
     for hot in &cfg.hot {
-        let Some(fd) = ws.file(&hot.file) else {
+        if !ws.files.iter().any(|(rel, _)| path_matches(rel, &hot.file)) {
             out.push(finding(
                 &hot.file,
                 0,
@@ -69,139 +46,114 @@ fn hot_path_rules(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
                 "hot-path file declared in lint.toml was not found in the workspace".to_string(),
             ));
             continue;
-        };
-        for name in &hot.functions {
-            let spans: Vec<_> = fd.fns.iter().filter(|s| s.name == *name).collect();
-            if spans.is_empty() {
+        }
+        for root in &hot.roots {
+            let ids = g.find_root(&hot.file, root);
+            if ids.is_empty() {
                 out.push(finding(
                     &hot.file,
                     0,
                     "L001",
                     format!(
-                        "hot function `{name}` declared in lint.toml does not exist in this \
-                         file — update lint.toml"
+                        "hot root `{root}` declared in lint.toml does not exist in this file — \
+                         update lint.toml"
                     ),
                 ));
-                continue;
             }
-            for span in spans {
-                scan_hot_body(fd, &fd.toks[span.body.clone()], name, out);
+            roots.extend(ids);
+        }
+    }
+    roots
+}
+
+/// Human-readable provenance for a transitively-hot function.
+fn via(g: &Graph, parent: &HashMap<FnId, FnId>, id: FnId) -> String {
+    let chain = g.chain_to(parent, id);
+    if chain.len() <= 1 {
+        "declared hot root".to_string()
+    } else {
+        format!("hot via {}", chain.join(" -> "))
+    }
+}
+
+fn hot_path_rules(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Finding>) {
+    let roots = hot_roots(ws, cfg, g, out);
+    if roots.is_empty() {
+        return;
+    }
+    let parent = g.reach(&roots);
+    let mut ids: Vec<FnId> = parent.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let f = g.fn_facts(id);
+        let rel = g.rel(id);
+        let prov = via(g, &parent, id);
+        let qual = f.qual_name();
+        for ev in &f.events {
+            match ev {
+                Event::Alloc { what, line } => out.push(finding(
+                    rel,
+                    *line,
+                    "L001",
+                    format!("`{what}` allocates inside `{qual}` ({prov})"),
+                )),
+                Event::Panic { what, line } => out.push(finding(
+                    rel,
+                    *line,
+                    "L002",
+                    format!(
+                        "`{what}` can panic inside `{qual}` ({prov}) — use an infallible \
+                         pattern or a reasoned pragma"
+                    ),
+                )),
+                Event::IndexOp { line, .. } => out.push(finding(
+                    rel,
+                    *line,
+                    "L002",
+                    format!(
+                        "slice index without `get` inside `{qual}` ({prov}) — indexing panics \
+                         on out-of-bounds"
+                    ),
+                )),
+                _ => {}
             }
         }
     }
 }
 
-fn scan_hot_body(fd: &FileData, body: &[Tok], fn_name: &str, out: &mut Vec<Finding>) {
-    for (k, t) in body.iter().enumerate() {
-        match t.kind {
-            TokKind::Ident => {
-                let next = body.get(k + 1);
-                let is_macro = matches!(next, Some(n) if n.is_punct("!"));
-                if is_macro && ALLOC_MACROS.contains(&t.text.as_str()) {
-                    out.push(finding(
-                        &fd.rel,
-                        t.line,
-                        "L001",
-                        format!("`{}!` allocates inside hot function `{fn_name}`", t.text),
-                    ));
-                }
-                if is_macro && PANIC_MACROS.contains(&t.text.as_str()) {
-                    out.push(finding(
-                        &fd.rel,
-                        t.line,
-                        "L002",
-                        format!("`{}!` can abort inside hot function `{fn_name}`", t.text),
-                    ));
-                }
-                if ALLOC_TYPES.contains(&t.text.as_str()) {
-                    out.push(finding(
-                        &fd.rel,
-                        t.line,
-                        "L001",
-                        format!(
-                            "heap collection `{}` used inside hot function `{fn_name}`",
-                            t.text
-                        ),
-                    ));
-                }
-                if ALLOC_PATH_HEADS.contains(&t.text.as_str())
-                    && matches!(body.get(k + 1), Some(c1) if c1.is_punct(":"))
-                    && matches!(body.get(k + 2), Some(c2) if c2.is_punct(":"))
-                    && matches!(body.get(k + 3),
-                        Some(m) if ALLOC_PATH_TAILS.contains(&m.text.as_str()))
-                {
-                    out.push(finding(
-                        &fd.rel,
-                        t.line,
-                        "L001",
-                        format!(
-                            "`{}::{}` allocates inside hot function `{fn_name}`",
-                            t.text,
-                            body[k + 3].text
-                        ),
-                    ));
-                }
-            }
-            TokKind::Punct if t.text == "." => {
-                if let Some(m) = body.get(k + 1) {
-                    if m.kind == TokKind::Ident {
-                        if ALLOC_METHODS.contains(&m.text.as_str()) {
-                            out.push(finding(
-                                &fd.rel,
-                                m.line,
-                                "L001",
-                                format!(
-                                    "`.{}()` allocates inside hot function `{fn_name}`",
-                                    m.text
-                                ),
-                            ));
-                        }
-                        if PANIC_METHODS.contains(&m.text.as_str()) {
-                            out.push(finding(
-                                &fd.rel,
-                                m.line,
-                                "L002",
-                                format!(
-                                    "`.{}()` can panic inside hot function `{fn_name}` — use an \
-                                     infallible pattern or a reasoned pragma",
-                                    m.text
-                                ),
-                            ));
-                        }
-                    }
-                }
-            }
-            TokKind::Punct if t.text == "[" && k > 0 => {
-                let prev = &body[k - 1];
-                let indexes = match prev.kind {
-                    TokKind::Ident => !is_keyword(&prev.text),
-                    TokKind::Num => true,
-                    TokKind::Punct => prev.text == ")" || prev.text == "]",
-                };
-                if indexes {
-                    out.push(finding(
-                        &fd.rel,
-                        t.line,
-                        "L002",
-                        format!(
-                            "slice index without `get` inside hot function `{fn_name}` — \
-                             indexing panics on out-of-bounds"
-                        ),
-                    ));
-                }
-            }
-            _ => {}
-        }
+/// The `--graph` dump: every hot function with its root→leaf chain.
+pub fn graph_report(ws: &Workspace, cfg: &LintConfig) -> String {
+    let g = Graph::new(&ws.files, ws.extern_lines());
+    let mut sink = Vec::new();
+    let roots = hot_roots(ws, cfg, &g, &mut sink);
+    let parent = g.reach(&roots);
+    let mut ids: Vec<FnId> = parent.keys().copied().collect();
+    ids.sort_unstable();
+    let mut out = format!(
+        "hot set: {} function(s) reachable from {} root(s)\n",
+        ids.len(),
+        roots.len()
+    );
+    for id in ids {
+        let f = g.fn_facts(id);
+        let chain = g.chain_to(&parent, id);
+        let prov = if chain.len() <= 1 {
+            "(root)".to_string()
+        } else {
+            chain.join(" -> ")
+        };
+        out.push_str(&format!(
+            "{}:{}: {}  {}\n",
+            g.rel(id),
+            f.decl_line,
+            f.qual_name(),
+            prov
+        ));
     }
-}
-
-/// Keywords that can directly precede `[` without forming an index
-/// expression (e.g. `return [a, b]`, `in [0, 1]`).
-fn is_keyword(s: &str) -> bool {
-    matches!(
-        s,
-        "return" | "in" | "as" | "mut" | "ref" | "move" | "else" | "match" | "if" | "break"
-    )
+    for s in sink {
+        out.push_str(&format!("warning: {}\n", s.msg));
+    }
+    out
 }
 
 // -------------------------------------------------------------------- L003
@@ -211,7 +163,7 @@ fn dead_counters(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
     if stats.file.is_empty() {
         return;
     }
-    let Some(root_fd) = ws.file(&stats.file) else {
+    if ws.facts_of(&stats.file).is_none() {
         out.push(finding(
             &stats.file,
             0,
@@ -219,14 +171,14 @@ fn dead_counters(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
             "stats file declared in lint.toml was not found".to_string(),
         ));
         return;
-    };
+    }
     // Resolve the transitive closure of counter structs: every pub field of
     // the root structs, recursing into struct-typed fields defined anywhere
     // in the workspace.
     let mut worklist: Vec<(String, String)> = stats
         .structs
         .iter()
-        .map(|s| (root_fd.rel.clone(), s.clone()))
+        .map(|s| (stats.file.clone(), s.clone()))
         .collect();
     let mut visited: Vec<String> = Vec::new();
     while let Some((def_file, struct_name)) = worklist.pop() {
@@ -234,12 +186,12 @@ fn dead_counters(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
             continue;
         }
         visited.push(struct_name.clone());
-        let Some(fd) = ws.file(&def_file) else {
+        let Some(facts) = ws.facts_of(&def_file) else {
             continue;
         };
-        let Some(fields) = lexer::struct_fields(&fd.toks, &struct_name) else {
+        let Some((_, _, fields)) = facts.structs.iter().find(|(n, _, _)| *n == struct_name) else {
             out.push(finding(
-                &fd.rel,
+                &def_file,
                 0,
                 "L003",
                 format!("struct `{struct_name}` declared in lint.toml was not found"),
@@ -250,15 +202,15 @@ fn dead_counters(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
             if let Some((sub_file, sub_name)) = resolve_struct(ws, &field.ty) {
                 worklist.push((sub_file, sub_name));
             }
-            let read = ws.files.values().any(|other| {
-                other.rel != fd.rel
-                    && other.rel != stats.file
-                    && stats.read_scope.iter().any(|p| in_scope(&other.rel, p))
-                    && reads_field(&other.toks, &field.name)
+            let read = ws.files.iter().any(|(rel, other)| {
+                *rel != def_file
+                    && *rel != stats.file
+                    && stats.read_scope.iter().any(|p| in_scope(rel, p))
+                    && other.field_reads.contains(&field.name)
             });
             if !read {
                 out.push(finding(
-                    &fd.rel,
+                    &def_file,
                     field.line,
                     "L003",
                     format!(
@@ -275,17 +227,14 @@ fn dead_counters(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
 /// If `ty` names a struct with named fields somewhere in the workspace,
 /// return (defining file, struct name).
 fn resolve_struct(ws: &Workspace, ty: &str) -> Option<(String, String)> {
-    let head: String = ty
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    if head.is_empty() || head.chars().next().is_some_and(|c| c.is_lowercase()) {
+    let h = head(peel_refs(ty));
+    if h.is_empty() || h.chars().next().is_some_and(|c| c.is_lowercase()) {
         return None;
     }
-    for fd in ws.files.values() {
-        if let Some(fields) = lexer::struct_fields(&fd.toks, &head) {
+    for (rel, facts) in &ws.files {
+        if let Some((name, _, fields)) = facts.structs.iter().find(|(n, _, _)| n == h) {
             if !fields.is_empty() {
-                return Some((fd.rel.clone(), head));
+                return Some((rel.clone(), name.clone()));
             }
         }
     }
@@ -296,42 +245,14 @@ fn in_scope(rel: &str, prefix: &str) -> bool {
     rel == prefix || rel.starts_with(&format!("{prefix}/"))
 }
 
-/// True when `.field` appears as a *read*: any occurrence that is not the
-/// direct target of `=` or a compound assignment operator.
-fn reads_field(toks: &[Tok], field: &str) -> bool {
-    for k in 0..toks.len().saturating_sub(1) {
-        if !(toks[k].is_punct(".") && toks[k + 1].is_ident(field)) {
-            continue;
-        }
-        if !is_assignment_target(toks, k + 2) {
-            return true;
-        }
-    }
-    false
-}
-
-fn is_assignment_target(toks: &[Tok], k: usize) -> bool {
-    let t = |i: usize| toks.get(k + i).map(|t| t.text.as_str()).unwrap_or("");
-    match t(0) {
-        // `=` alone is an assignment; `==` is a comparison (a read).
-        "=" => t(1) != "=",
-        // `+=`, `-=`, `*=`, `/=`, `%=`, `|=`, `&=`, `^=`.
-        "+" | "-" | "*" | "/" | "%" | "|" | "&" | "^" => t(1) == "=",
-        // `<<=` / `>>=`; plain `<=` / `>=` are comparisons.
-        "<" => t(1) == "<" && t(2) == "=",
-        ">" => t(1) == ">" && t(2) == "=",
-        _ => false,
-    }
-}
-
 // -------------------------------------------------------------------- L004
 
-fn config_coverage(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+fn config_coverage(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Finding>) {
     let cov = &cfg.config_coverage;
     if cov.file.is_empty() {
         return;
     }
-    let Some(fd) = ws.file(&cov.file) else {
+    let Some(cfg_facts) = ws.facts_of(&cov.file) else {
         out.push(finding(
             &cov.file,
             0,
@@ -340,9 +261,13 @@ fn config_coverage(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
         ));
         return;
     };
-    let Some(fields) = lexer::struct_fields(&fd.toks, &cov.struct_name) else {
+    let Some((_, _, fields)) = cfg_facts
+        .structs
+        .iter()
+        .find(|(n, _, _)| *n == cov.struct_name)
+    else {
         out.push(finding(
-            &fd.rel,
+            &cov.file,
             0,
             "L004",
             format!(
@@ -353,15 +278,23 @@ fn config_coverage(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
         return;
     };
     for field in fields.iter().filter(|f| f.public) {
-        // Any `.field` occurrence counts: a sweep *setting* a knob is
-        // exercising it just as much as a report reading it.
-        let used = ws.files.values().any(|other| {
-            cov.used_in.iter().any(|p| in_scope(&other.rel, p))
-                && touches_field(&other.toks, &field.name)
+        // An access counts only when the receiver *resolves to the knob
+        // struct itself* — a same-named field on an unrelated struct does
+        // not. Setting a knob in a sweep is exercising it just as much as
+        // a report reading it.
+        let used = ws.files.iter().enumerate().any(|(fi, (rel, facts))| {
+            cov.used_in.iter().any(|p| in_scope(rel, p))
+                && facts.fns.iter().any(|f| {
+                    f.accesses.iter().any(|a| {
+                        a.field == field.name
+                            && g.resolve_type(&a.chain, fi, &f.self_ty)
+                                .is_some_and(|ty| head(peel_refs(&ty)) == cov.struct_name)
+                    })
+                })
         });
         if !used {
             out.push(finding(
-                &fd.rel,
+                &cov.file,
                 field.line,
                 "L004",
                 format!(
@@ -374,10 +307,6 @@ fn config_coverage(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
             ));
         }
     }
-}
-
-fn touches_field(toks: &[Tok], field: &str) -> bool {
-    (0..toks.len().saturating_sub(1)).any(|k| toks[k].is_punct(".") && toks[k + 1].is_ident(field))
 }
 
 // -------------------------------------------------------------------- L005
@@ -394,21 +323,25 @@ pub struct Fingerprint {
 pub fn compute_fingerprint(ws: &Workspace, cfg: &LintConfig) -> Result<Fingerprint, String> {
     let tf = &cfg.trace_format;
     let packed = ws
-        .file(&tf.packed_file)
+        .facts_of(&tf.packed_file)
         .ok_or_else(|| format!("trace_format packed_file `{}` not found", tf.packed_file))?;
-    let fields = lexer::struct_fields(&packed.toks, &tf.struct_name).ok_or_else(|| {
-        format!(
-            "struct `{}` not found in `{}`",
-            tf.struct_name, tf.packed_file
-        )
-    })?;
+    let (_, _, fields) = packed
+        .structs
+        .iter()
+        .find(|(n, _, _)| *n == tf.struct_name)
+        .ok_or_else(|| {
+            format!(
+                "struct `{}` not found in `{}`",
+                tf.struct_name, tf.packed_file
+            )
+        })?;
     let codec = ws
-        .file(&tf.codec_file)
+        .facts_of(&tf.codec_file)
         .ok_or_else(|| format!("trace_format codec_file `{}` not found", tf.codec_file))?;
-    let mut consts = lexer::numeric_consts(&codec.toks);
+    let mut consts = codec.consts.clone();
     consts.sort();
     let mut canonical = format!("struct {}{{", tf.struct_name);
-    for f in &fields {
+    for f in fields {
         canonical.push_str(&format!("{}:{};", f.name, f.ty));
     }
     canonical.push('}');
@@ -421,7 +354,7 @@ pub fn compute_fingerprint(ws: &Workspace, cfg: &LintConfig) -> Result<Fingerpri
         .and_then(|(_, value, _)| parse_int(value));
     Ok(Fingerprint {
         version,
-        hash: fnv1a64(canonical.as_bytes()),
+        hash: crate::fnv1a64(canonical.as_bytes()),
         canonical,
     })
 }
@@ -430,15 +363,6 @@ fn parse_int(text: &str) -> Option<u64> {
     let cleaned: String = text.chars().filter(|c| *c != '_').collect();
     let digits: String = cleaned.chars().take_while(|c| c.is_ascii_digit()).collect();
     digits.parse().ok()
-}
-
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        hash ^= u64::from(*b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 fn trace_format(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
@@ -454,13 +378,12 @@ fn trace_format(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
         }
     };
     let version_line = ws
-        .file(&tf.codec_file)
-        .map(|fd| {
-            lexer::numeric_consts(&fd.toks)
+        .facts_of(&tf.codec_file)
+        .and_then(|f| {
+            f.consts
                 .iter()
                 .find(|(name, _, _)| name == &tf.version_const)
                 .map(|(_, _, line)| *line)
-                .unwrap_or(0)
         })
         .unwrap_or(0);
     let Some(version) = fp.version else {
@@ -529,13 +452,12 @@ fn trace_format(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
 }
 
 fn struct_line(ws: &Workspace, tf: &crate::config::TraceFormat) -> u32 {
-    ws.file(&tf.packed_file)
-        .map(|fd| {
-            let toks = &fd.toks;
-            (0..toks.len().saturating_sub(1))
-                .find(|&k| toks[k].is_ident("struct") && toks[k + 1].is_ident(&tf.struct_name))
-                .map(|k| toks[k].line)
-                .unwrap_or(0)
+    ws.facts_of(&tf.packed_file)
+        .and_then(|f| {
+            f.structs
+                .iter()
+                .find(|(n, _, _)| *n == tf.struct_name)
+                .map(|(_, line, _)| *line)
         })
         .unwrap_or(0)
 }
@@ -568,7 +490,7 @@ pub fn parse_record(text: &str) -> Option<(u64, u64)> {
 
 fn narrowing_casts(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
     for file in &cfg.narrowing_files {
-        let Some(fd) = ws.file(file) else {
+        let Some(facts) = ws.facts_of(file) else {
             out.push(finding(
                 file,
                 0,
@@ -577,19 +499,116 @@ fn narrowing_casts(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
             ));
             continue;
         };
-        let toks = &fd.toks;
-        for k in 0..toks.len().saturating_sub(1) {
-            if toks[k].is_ident("as") && NARROW_TARGETS.contains(&toks[k + 1].text.as_str()) {
-                out.push(finding(
-                    &fd.rel,
-                    toks[k].line,
-                    "L006",
+        for f in &facts.fns {
+            for ev in &f.events {
+                if let Event::Cast { ty, line } = ev {
+                    if NARROW_TARGETS.contains(&ty.as_str()) {
+                        out.push(finding(
+                            file,
+                            *line,
+                            "L006",
+                            format!(
+                                "unchecked narrowing cast `as {ty}` in trace codec — use \
+                                 `try_from` or a masked helper, or suppress with a range \
+                                 justification"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------- L007
+
+/// Containers whose iteration order is nondeterministic across runs.
+const HASH_CONTAINERS: &[&str] = &["HashMap", "HashSet"];
+
+fn determinism(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Finding>) {
+    if cfg.determinism_files.is_empty() {
+        return;
+    }
+    let mut roots = Vec::new();
+    for file in &cfg.determinism_files {
+        if !ws.files.iter().any(|(rel, _)| path_matches(rel, file)) {
+            out.push(finding(
+                file,
+                0,
+                "L007",
+                "determinism file declared in lint.toml was not found".to_string(),
+            ));
+            continue;
+        }
+        roots.extend(g.fns_in_file(file));
+    }
+    let parent = g.reach(&roots);
+    let mut ids: Vec<FnId> = parent.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let f = g.fn_facts(id);
+        let rel = g.rel(id);
+        let prov = via(g, &parent, id);
+        let qual = f.qual_name();
+        for ev in &f.events {
+            match ev {
+                Event::Nondet { what, line } => out.push(finding(
+                    rel,
+                    *line,
+                    "L007",
                     format!(
-                        "unchecked narrowing cast `as {}` in trace codec — use `try_from` or a \
-                         masked helper, or suppress with a range justification",
-                        toks[k + 1].text
+                        "{what} inside `{qual}` ({prov}) — replay must be bit-identical across \
+                         runs; thread a seed or counter through instead"
                     ),
-                ));
+                )),
+                Event::HashIter { chain, line } => {
+                    let Some(ty) = g.resolve_type(chain, id.0, &f.self_ty) else {
+                        continue;
+                    };
+                    let h = head(peel_refs(&ty));
+                    if HASH_CONTAINERS.contains(&h) {
+                        out.push(finding(
+                            rel,
+                            *line,
+                            "L007",
+                            format!(
+                                "iteration over `{h}` has nondeterministic order inside `{qual}` \
+                                 ({prov}) — use a BTreeMap/Vec or sort before iterating"
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------- L008
+
+fn unit_mixing(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if cfg.units_files.is_empty() {
+        return;
+    }
+    for (rel, facts) in &ws.files {
+        if !cfg.units_files.iter().any(|p| in_scope(rel, p)) {
+            continue;
+        }
+        for f in facts.fns.iter().filter(|f| !f.in_test) {
+            for ev in &f.events {
+                if let Event::UnitMix { cyc, cnt, line } = ev {
+                    out.push(finding(
+                        rel,
+                        *line,
+                        "L008",
+                        format!(
+                            "`{cyc}` (cycles) combined with `{cnt}` (a count) in `{}` — unit \
+                             mixing; make the conversion explicit with a cast or rename the \
+                             non-cycle operand",
+                            f.qual_name()
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -611,19 +630,25 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "allocation in a hot-path function",
         "The simulator's per-op loop must stay allocation-free: `clone()`, `to_vec()`, \
          `format!`, `vec!`, stable sorts, heap collections (HashMap & friends) and \
-         `Vec::new`-style constructors are banned inside the functions listed in \
-         lint.toml's [[hot]] sections. Amortized growth of capacity-stable buffers \
-         (`push` onto a Vec that reaches steady state) is deliberately out of scope. \
-         Suppress only with a reason explaining why the allocation is bounded.",
+         `Vec::new`-style constructors are banned inside the hot set. The hot set is computed \
+         *transitively*: lint.toml's [[hot]] sections declare only the roots (e.g. \
+         `Simulator::feed_packed`), and every workspace function reachable from them through \
+         the call graph — including methods reached through field chains, `Index` impls \
+         reached through `[]`, and calls made inside closures — inherits the constraint. Each \
+         diagnostic names the call chain that made the function hot. Amortized growth of \
+         capacity-stable buffers (`push` onto a Vec that reaches steady state) is deliberately \
+         out of scope. Suppress only with a reason explaining why the allocation is bounded.",
     ),
     (
         "L002",
         "panic path in a hot-path function",
         "`unwrap()`, `expect()`, `panic!`-family macros and slice indexing without `get` \
-         are banned in hot functions. The release profile uses panic=abort, so any of \
-         these turns a model bug into a lost sweep. Convert to an infallible pattern \
-         (`if let`, `get().copied().unwrap_or(..)`) or, where the invariant is real and \
-         locally provable, add `// lint:allow(L002): <why it cannot fire>`.",
+         are banned in the hot set (computed transitively from the lint.toml roots, like \
+         L001 — the diagnostic names the call chain). The release profile uses panic=abort, \
+         so any of these turns a model bug into a lost sweep. `debug_assert!` is exempt: it \
+         compiles out of release builds. Convert to an infallible pattern (`if let`, \
+         `get().copied().unwrap_or(..)`) or, where the invariant is real and locally \
+         provable, add `// lint:allow(L002): <why it cannot fire>`.",
     ),
     (
         "L003",
@@ -640,7 +665,9 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "Every pub field of MachineConfig must be referenced by aurora-bench's sweep/report \
          code. A knob nothing sweeps or prints is a knob whose effect on the model is \
          unvalidated — exactly the silent-drift failure mode the gem5 methodology papers \
-         warn about. Setting a knob in a sweep counts as exercising it.",
+         warn about. Accesses are matched *by receiver type*, not by field name alone: a \
+         same-named field on an unrelated struct does not count, while a knob set through a \
+         typed closure parameter does. Setting a knob in a sweep counts as exercising it.",
     ),
     (
         "L005",
@@ -658,6 +685,38 @@ pub const RULES: &[(&str, &str, &str)] = &[
          place where in-memory ops are bit-packed into the 16-byte record — a silent \
          truncation corrupts every replay of a captured trace. Use `try_from`, a masked \
          helper with a debug_assert, or suppress with a justification of the value range.",
+    ),
+    (
+        "L007",
+        "nondeterminism reachable from the replay core",
+        "Replaying the same packed trace with the same config must produce bit-identical \
+         results: the capture-once/replay-many methodology, the differential equivalence \
+         tests, and every experiment in docs/EXPERIMENTS.md all assume it. Everything \
+         reachable from the functions in lint.toml's [determinism] files therefore must not: \
+         iterate a HashMap/HashSet (randomized seed → randomized order), read the wall clock \
+         (`Instant::now`, `SystemTime::now`), construct a `DefaultHasher`/`RandomState`, or \
+         observe a pointer address as an integer (`as *const _ as usize`). Thread a seed, a \
+         cycle counter, or an ordered container through instead. The diagnostic names the \
+         call chain from the replay core to the offending function.",
+    ),
+    (
+        "L008",
+        "cycle/count unit mixing",
+        "Adding a cycle-valued expression (`*_cycle`, `*_cycles`) to a count-valued one \
+         (`*_count`, `.len()`) with `+`/`-`/`+=`/`-=` is almost always a latency-accounting \
+         bug — the sums type-check because both sides are u64. An explicit `as` cast on \
+         either operand marks the conversion site as intentional and silences the rule, as \
+         does renaming the operand to say what unit it actually carries. Checked in the \
+         files listed under lint.toml's [units] section.",
+    ),
+    (
+        "L009",
+        "stale suppression pragma",
+        "A `lint:allow(L0xx): reason` pragma whose rule no longer fires on its target line \
+         or function is an error. Stale allows are silent rule holes: the code they excused \
+         was fixed or moved, but the pragma keeps suppressing — so a *new* violation at the \
+         same site would be invisible. Delete the pragma (or drop the rule id that no longer \
+         fires from its list). L009 cannot itself be suppressed.",
     ),
 ];
 

@@ -1,0 +1,12 @@
+//! L004 regression: a same-named field on an unrelated struct must not
+//! count as exercising the `Config` knob — accesses are matched by
+//! receiver *type*, so `config.rs`'s `unused_knob` marker still fires
+//! even though this file writes a field with the same name.
+
+pub struct Decoy {
+    pub unused_knob: u32,
+}
+
+pub fn poke(d: &mut Decoy) {
+    d.unused_knob = 9;
+}

@@ -1,5 +1,17 @@
-//! The L004 sweep scope: setting a knob counts as exercising it.
+//! The L004 sweep scope: setting a knob counts as exercising it, and the
+//! receiver may be typed indirectly — here through the `Fn(&mut Config)`
+//! signature of `apply`'s closure parameter.
 
 pub fn sweep(cfg: &mut Config) {
     cfg.used_knob = 7;
+}
+
+pub fn apply(cfg: &mut Config, f: impl Fn(&mut Config)) {
+    f(cfg);
+}
+
+pub fn sweep_with_closure(cfg: &mut Config) {
+    apply(cfg, |c| {
+        c.closure_knob = 3;
+    });
 }

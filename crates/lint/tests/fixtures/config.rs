@@ -1,7 +1,11 @@
 //! L004 fixture: every pub knob of `Config` must be referenced under
-//! `bench/` (the fixture's used_in scope).
+//! `bench/` (the fixture's used_in scope). `closure_knob` is exercised
+//! only through a typed closure parameter, and `bench/decoy.rs` pokes a
+//! same-named field on an unrelated struct — both regression-test the
+//! receiver-type matching.
 
 pub struct Config {
     pub used_knob: u32,
+    pub closure_knob: u32,
     pub unused_knob: u32, // FIRE: L004 (no sweep or report touches it)
 }

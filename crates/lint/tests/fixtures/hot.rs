@@ -1,7 +1,10 @@
-//! L001/L002 fixture: `hot_fn` is listed in the fixture lint.toml's
+//! L001/L002 fixture: `hot_fn` is a root in the fixture lint.toml's
 //! [[hot]] section, so every marked line below must produce a finding.
-//! `suppressed_fn` demonstrates that a reasoned pragma suppresses, and
-//! the reasonless pragma above `harmless` is itself an L000 finding.
+//! `suppressed_fn` demonstrates that a reasoned pragma suppresses, the
+//! reasonless pragma above `harmless` is itself an L000 finding, and the
+//! `root_fn -> mid_fn -> leaf_alloc` chain proves transitive propagation:
+//! only `root_fn` is declared, yet the allocation two calls down fires
+//! with the full call chain in its message.
 
 pub fn hot_fn(xs: &[u64], i: usize) -> u64 {
     let v: Vec<u64> = Vec::new(); // FIRE: L001 (Vec::new constructor)
@@ -22,4 +25,32 @@ pub fn suppressed_fn(xs: &[u64]) -> u64 {
 // lint:allow(L001) // FIRE: L000 (pragma missing its mandatory reason)
 pub fn harmless() -> u64 {
     0
+}
+
+// --- transitive propagation: only `root_fn` is declared in lint.toml ---
+
+pub fn root_fn(n: usize) -> u64 {
+    mid_fn(n)
+}
+
+fn mid_fn(n: usize) -> u64 {
+    leaf_alloc(n)
+}
+
+fn leaf_alloc(n: usize) -> u64 {
+    let v = vec![0u64; n]; // FIRE: L001 (two calls below the declared root)
+    v.len() as u64
+}
+
+// --- the `lint:extern` escape hatch severs the call edge ---
+
+pub fn extern_blocked(n: usize) -> u64 {
+    helper_behind_extern(n) // lint:extern — dispatched dynamically in production
+}
+
+// No marker here: the extern pragma on the call site above severs the
+// edge, so this body is not hot even though it allocates.
+fn helper_behind_extern(n: usize) -> u64 {
+    let v = vec![1u64; n];
+    v.len() as u64
 }

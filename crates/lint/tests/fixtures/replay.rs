@@ -1,0 +1,25 @@
+//! L007 fixture: `replay.rs` is the fixture's [determinism] scope, so
+//! everything reachable from its functions must be deterministic.
+
+use std::collections::HashMap;
+
+pub fn replay(m: &HashMap<u32, u32>, xs: &[u64]) -> u64 {
+    let mut acc = ordered_sum(xs);
+    for (_k, v) in m.iter() { // FIRE: L007 (HashMap iteration order is randomized)
+        acc += u64::from(*v);
+    }
+    acc + entropy()
+}
+
+pub fn key_of(x: &u64) -> usize {
+    x as *const u64 as usize // FIRE: L007 (pointer address observed as integer)
+}
+
+// Iterating a slice is ordered: no finding.
+fn ordered_sum(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}

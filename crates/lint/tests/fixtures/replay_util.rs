@@ -1,0 +1,9 @@
+//! Not in the [determinism] file list itself — `entropy` is flagged only
+//! because `replay.rs`'s `replay` reaches it through the call graph, and
+//! its diagnostic names that chain.
+
+pub fn entropy() -> u64 {
+    let now = std::time::Instant::now(); // FIRE: L007 (wall clock, reached from replay.rs)
+    let _ = now;
+    0
+}

@@ -1,0 +1,7 @@
+//! L009 fixture: a well-formed pragma whose rule no longer fires on its
+//! target is itself an error — stale allows are silent rule holes.
+
+// lint:allow(L001): the allocation was removed long ago // FIRE: L009 (stale allow)
+pub fn tidy() -> u64 {
+    42
+}

@@ -1,0 +1,21 @@
+//! L008 fixture: `units.rs` is in the fixture's [units] scope, so
+//! `+`/`-` combining a cycle-unit operand with a count-unit one fires
+//! unless an explicit cast marks the conversion site.
+
+pub struct Pipe {
+    pub busy_cycles: u64,
+    pub retire_count: u64,
+}
+
+pub fn drain_time(p: &Pipe) -> u64 {
+    p.busy_cycles + p.retire_count // FIRE: L008 (cycles + count without a cast)
+}
+
+pub fn backlog(stall_cycles: usize, xs: &[u64]) -> usize {
+    stall_cycles + xs.len() // FIRE: L008 (.len() is a count)
+}
+
+// An explicit cast marks the conversion as intentional: no finding.
+pub fn explicit_ok(p: &Pipe) -> u64 {
+    p.busy_cycles + p.retire_count as u64
+}
