@@ -39,4 +39,13 @@ cargo test -q --test packed_replay
 echo "== cycle-skip differential equivalence =="
 cargo test -q --test event_horizon_differential
 
+echo "== block-replay differential equivalence =="
+cargo test -q --test block_replay_differential
+
+echo "== perf smoke (block replay bit-identical at test scale) =="
+mkdir -p target/ci
+cargo run --release -q -p aurora-bench --bin perf_baseline -- \
+    --scale test --out target/ci/BENCH_replay.json --sim-out target/ci/BENCH_sim.json
+grep -q '"stats_bit_identical": true' target/ci/BENCH_sim.json
+
 echo "CI OK"

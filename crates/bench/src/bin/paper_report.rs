@@ -201,7 +201,9 @@ fn book(md: &mut String, scale: Scale) {
             "`perf_baseline`",
             "`perf_baseline -- --scale test`",
             "`BENCH_replay.json`, `BENCH_sim.json`",
-            "host-dependent wall-clock; stats asserted bit-identical across modes",
+            "host-dependent wall-clock; per-op, block-superinstruction and streamed \
+             modes asserted bit-identical (every row above replays through the \
+             block engine, see docs/MODEL.md \"Block lowering\")",
         ),
         (
             "workspace invariant gate",

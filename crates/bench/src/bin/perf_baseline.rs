@@ -15,7 +15,12 @@
 //! the materialised traces are replayed once with event-horizon cycle
 //! skipping and once in naive walk-every-cycle mode, the statistics are
 //! asserted bit-identical, and the figures land in `BENCH_sim.json`
-//! (override with `--sim-out PATH`).
+//! (override with `--sim-out PATH`). The same section then lowers the
+//! traces into basic-block superinstructions and times
+//! [`replay_blocks`] — with the fast path enabled and with the
+//! `block_replay` knob off — asserting every mode bit-identical to the
+//! per-op replay before recording `block_instr_per_sec` and
+//! `block_speedup_vs_per_op`.
 //!
 //! ```text
 //! cargo run --release -p aurora-bench --bin perf_baseline -- [--scale test] [--out FILE]
@@ -24,8 +29,11 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use aurora_bench::harness::{fp_suite, integer_suite, run, run_matrix, scale_from_args};
-use aurora_core::{replay, IssueWidth, MachineConfig, MachineModel};
+use aurora_bench::harness::{
+    fp_suite, integer_suite, run, run_matrix, scale_from_args, sweep_threads,
+};
+use aurora_core::{replay, replay_blocks, IssueWidth, MachineConfig, MachineModel};
+use aurora_isa::BlockTrace;
 use aurora_mem::LatencyModel;
 use aurora_workloads::{TraceStore, Workload};
 
@@ -39,6 +47,23 @@ fn sweep_configs() -> Vec<MachineConfig> {
         }
     }
     out
+}
+
+/// Baseline dual-issue config for the per-op replay modes, with the
+/// observer and event-horizon knobs set per mode.
+fn per_op_cfg(observe: bool, cycle_skip: bool) -> MachineConfig {
+    let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    cfg.observe = observe;
+    cfg.cycle_skip = cycle_skip;
+    cfg
+}
+
+/// Baseline dual-issue config for the block engine, with the
+/// superinstruction fast path toggled per mode.
+fn block_cfg(block_replay: bool) -> MachineConfig {
+    let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    cfg.block_replay = block_replay;
+    cfg
 }
 
 fn main() {
@@ -108,7 +133,9 @@ fn main() {
         "paths must simulate the same work"
     );
 
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    // Record the pool size the sweep actually used, not the raw core
+    // count: run_matrix never spawns more threads than grid cells.
+    let threads = sweep_threads(cells);
     let speedup = stream_s / replay_s;
     let stream_ips = streamed_instructions as f64 / stream_s;
     let replay_ips = replayed_instructions as f64 / replay_s;
@@ -145,63 +172,94 @@ fn main() {
     let mut sim_json = String::from("{\n");
     let _ = writeln!(sim_json, "  \"scale\": \"{scale}\",");
     let _ = writeln!(sim_json, "  \"config\": \"baseline/dual-issue\",");
-    let mut mode_results = Vec::new();
-    for cycle_skip in [true, false] {
-        let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
-        cfg.cycle_skip = cycle_skip;
-        let mut secs = f64::INFINITY;
-        let mut stats = Vec::new();
-        for _ in 0..3 {
-            let t = Instant::now();
-            stats = traces.iter().map(|tr| replay(&cfg, tr)).collect();
-            secs = secs.min(t.elapsed().as_secs_f64());
-        }
-        let instrs: u64 = stats.iter().map(|s| s.instructions).sum();
-        let ips = instrs as f64 / secs;
-        let label = if cycle_skip { "skip" } else { "naive" };
-        println!("sim/{label}:  {secs:.3} s  ({ips:.0} instr/s)");
-        mode_results.push((label, secs, ips, stats));
-    }
-    let (skip_stats, naive_stats) = (&mode_results[0].3, &mode_results[1].3);
-    assert_eq!(
-        skip_stats, naive_stats,
-        "cycle-skip stats diverged from naive"
+
+    // Lower each packed trace into basic-block superinstructions up
+    // front (timed once — lowering is capture-side work, amortised
+    // across every sweep that reuses the blocks).
+    let t_lower = Instant::now();
+    let blocks: Vec<BlockTrace> = traces.iter().map(BlockTrace::lower).collect();
+    let lower_s = t_lower.elapsed().as_secs_f64();
+    let static_ops: usize = blocks.iter().map(BlockTrace::static_ops).sum();
+    let dynamic_ops: u64 = blocks.iter().map(BlockTrace::len).sum();
+    let reuse = dynamic_ops as f64 / static_ops.max(1) as f64;
+    println!(
+        "sim/lower: {lower_s:.3} s  ({static_ops} static ops for {dynamic_ops} dynamic, {reuse:.0}x reuse)"
     );
+
+    // Five modes over the same work: per-op replay with event-horizon
+    // skipping, the naive walk-every-cycle reference, the observed
+    // (cycle-event ring) replay, and the block engine with the fast
+    // path on and off. Rounds are interleaved — every mode runs once
+    // per round and each keeps its best time — so slow drift in host
+    // clock speed lands on all modes alike instead of biasing whichever
+    // section ran in the fast phase. All five must agree bit-for-bit
+    // on every kernel's statistics.
+    type ModeFn<'a> = Box<dyn Fn() -> Vec<aurora_core::SimStats> + 'a>;
+    let traces = &traces;
+    let blocks = &blocks;
+    let modes: Vec<(&str, ModeFn)> = vec![
+        ("skip", {
+            let cfg = per_op_cfg(false, true);
+            Box::new(move || traces.iter().map(|tr| replay(&cfg, tr)).collect())
+        }),
+        ("naive", {
+            let cfg = per_op_cfg(false, false);
+            Box::new(move || traces.iter().map(|tr| replay(&cfg, tr)).collect())
+        }),
+        ("observed", {
+            let cfg = per_op_cfg(true, true);
+            Box::new(move || traces.iter().map(|tr| replay(&cfg, tr)).collect())
+        }),
+        ("block", {
+            let cfg = block_cfg(true);
+            Box::new(move || blocks.iter().map(|b| replay_blocks(&cfg, b)).collect())
+        }),
+        ("block_off", {
+            let cfg = block_cfg(false);
+            Box::new(move || blocks.iter().map(|b| replay_blocks(&cfg, b)).collect())
+        }),
+    ];
+    let mut secs = vec![f64::INFINITY; modes.len()];
+    let mut stats = vec![Vec::new(); modes.len()];
+    for _round in 0..5 {
+        for (m, (_, run_mode)) in modes.iter().enumerate() {
+            let t = Instant::now();
+            stats[m] = run_mode();
+            secs[m] = secs[m].min(t.elapsed().as_secs_f64());
+        }
+    }
+    let skip_stats = stats[0].clone();
+    for (m, (label, _)) in modes.iter().enumerate() {
+        assert_eq!(
+            &stats[m], &skip_stats,
+            "{label} stats diverged from per-op skip replay"
+        );
+    }
+    let instrs: u64 = skip_stats.iter().map(|s| s.instructions).sum();
+    let mode_results: Vec<(&str, f64, f64)> = modes
+        .iter()
+        .zip(&secs)
+        .map(|((label, _), &s)| (*label, s, instrs as f64 / s))
+        .collect();
+    for (label, s, ips) in &mode_results[..2] {
+        println!("sim/{label}:  {s:.3} s  ({ips:.0} instr/s)");
+    }
     let sim_speedup = mode_results[0].2 / mode_results[1].2;
     println!("sim/skip-vs-naive: {sim_speedup:.2}x, stats bit-identical");
-
-    // Observer-overhead section: the same single-threaded replays with
-    // the cycle-event observer attached. `observe = true` pays for ring
-    // writes and histogram updates; the statistics must stay
-    // bit-identical to the unobserved run (the observer is read-only
-    // with respect to machine state).
-    let observe_secs = {
-        let mut cfg = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
-        cfg.observe = true;
-        let mut secs = f64::INFINITY;
-        let mut stats = Vec::new();
-        for _ in 0..3 {
-            let t = Instant::now();
-            stats = traces.iter().map(|tr| replay(&cfg, tr)).collect();
-            secs = secs.min(t.elapsed().as_secs_f64());
-        }
-        assert_eq!(
-            &stats, skip_stats,
-            "observe=true stats diverged from observe=false"
-        );
-        secs
-    };
+    let observe_secs = mode_results[2].1;
     let observe_overhead = observe_secs / mode_results[0].1 - 1.0;
     println!(
         "sim/observed: {observe_secs:.3} s  ({:+.1}% vs unobserved, stats bit-identical)",
         100.0 * observe_overhead
     );
-    let _ = writeln!(
-        sim_json,
-        "  \"instructions\": {},",
-        skip_stats.iter().map(|s| s.instructions).sum::<u64>()
-    );
-    for (label, secs, ips, _) in &mode_results {
+    let block_modes = &mode_results[3..5];
+    for (label, s, ips) in block_modes {
+        println!("sim/{label}: {s:.3} s  ({ips:.0} instr/s)");
+    }
+    let block_speedup = block_modes[0].2 / mode_results[0].2;
+    println!("sim/block-vs-per-op: {block_speedup:.2}x, stats bit-identical");
+    let _ = writeln!(sim_json, "  \"instructions\": {instrs},");
+    for (label, secs, ips) in &mode_results[..2] {
         let _ = writeln!(sim_json, "  \"{label}_seconds\": {secs:.6},");
         let _ = writeln!(sim_json, "  \"{label}_instr_per_sec\": {ips:.0},");
     }
@@ -211,6 +269,17 @@ fn main() {
         sim_json,
         "  \"observe_overhead_pct\": {:.1},",
         100.0 * observe_overhead
+    );
+    let _ = writeln!(sim_json, "  \"block_lower_seconds\": {lower_s:.6},");
+    let _ = writeln!(sim_json, "  \"block_static_ops\": {static_ops},");
+    let _ = writeln!(sim_json, "  \"block_reuse_factor\": {reuse:.1},");
+    for (label, secs, ips) in block_modes {
+        let _ = writeln!(sim_json, "  \"{label}_seconds\": {secs:.6},");
+        let _ = writeln!(sim_json, "  \"{label}_instr_per_sec\": {ips:.0},");
+    }
+    let _ = writeln!(
+        sim_json,
+        "  \"block_speedup_vs_per_op\": {block_speedup:.3},"
     );
     let _ = writeln!(sim_json, "  \"stats_bit_identical\": true");
     sim_json.push_str("}\n");

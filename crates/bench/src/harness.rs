@@ -6,16 +6,19 @@
 //! ultimately a (configurations × workloads) sweep, and the trace of a
 //! (workload, scale) pair is configuration-independent. The matrix runner
 //! therefore captures each workload's packed trace once — through the
-//! process-wide [`TraceStore`] — and replays the shared, borrowed traces
-//! across a work-stealing thread pool, one cell at a time. Compared with
-//! re-emulating the kernel per cell, replay skips the functional emulator
-//! entirely, which is where most of a sweep's time used to go.
+//! process-wide [`TraceStore`] — lowers it once into basic-block
+//! superinstructions ([`aurora_isa::BlockTrace`]), and replays the
+//! shared, pre-resolved blocks across a work-stealing thread pool, one
+//! cell at a time. Compared with re-emulating the kernel per cell,
+//! replay skips the functional emulator entirely; compared with per-op
+//! replay, block replay amortises fetch, footprint and scoreboard checks
+//! over whole blocks. Statistics stay bit-identical throughout.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use aurora_core::{replay, MachineConfig, SimStats, Simulator};
-use aurora_isa::PackedTrace;
+use aurora_core::{replay_blocks, MachineConfig, SimStats, Simulator};
+use aurora_isa::BlockTrace;
 use aurora_workloads::{Scale, TraceStore, Workload};
 
 /// Runs `workload` through a simulator for `cfg`, streaming the trace
@@ -34,31 +37,42 @@ pub fn run(cfg: &MachineConfig, workload: &Workload) -> SimStats {
 }
 
 /// Captures `workload`'s trace through the process-wide [`TraceStore`]
-/// (at most once per (name, scale), across all threads) and replays it
-/// against `cfg`. Statistics are bit-identical to [`run`].
+/// (at most once per (name, scale), across all threads), lowers it to
+/// basic blocks (also memoised), and replays the blocks against `cfg`.
+/// Statistics are bit-identical to [`run`].
 ///
 /// # Panics
 ///
 /// Panics if the kernel fails to run — kernels are compiled-in and a
 /// failure is a bug, not an operational error.
 pub fn run_cached(cfg: &MachineConfig, workload: &Workload) -> SimStats {
-    replay(cfg, &capture(workload))
+    replay_blocks(cfg, &capture_blocks(workload))
 }
 
-fn capture(workload: &Workload) -> Arc<PackedTrace> {
+fn capture_blocks(workload: &Workload) -> Arc<BlockTrace> {
     TraceStore::global()
-        .get(workload)
+        .get_blocks(workload)
         .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name()))
+}
+
+/// Sizes the sweep thread pool: one thread per hardware thread, but
+/// never more threads than grid cells. This is the figure recorded as
+/// `parallelism` in `BENCH_replay.json`.
+pub fn sweep_threads(cells: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(cells.max(1))
 }
 
 /// Replays every workload against every configuration: the universal
 /// sweep shape behind the paper's figures and tables.
 ///
-/// Traces are captured once per workload (in parallel, memoised in the
-/// process-wide [`TraceStore`]), then the `configs.len() × workloads.len()`
-/// grid of independent replays drains through a work-stealing pool sized
-/// to the machine. Returns one row per configuration, one column per
-/// workload: `result[c][w]` is `configs[c]` × `workloads[w]`.
+/// Traces are captured and lowered to basic blocks once per workload
+/// (in parallel, memoised in the process-wide [`TraceStore`]), then the
+/// `configs.len() × workloads.len()` grid of independent block replays
+/// drains through a work-stealing pool sized to the machine. Returns one
+/// row per configuration, one column per workload: `result[c][w]` is
+/// `configs[c]` × `workloads[w]`.
 ///
 /// # Panics
 ///
@@ -68,11 +82,12 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
     if configs.is_empty() || workloads.is_empty() {
         return configs.iter().map(|_| Vec::new()).collect();
     }
-    // Phase 1: capture each workload's trace, one thread per workload.
-    let traces: Vec<Arc<PackedTrace>> = std::thread::scope(|scope| {
+    // Phase 1: capture and block-lower each workload's trace, one
+    // thread per workload (both steps memoised in the TraceStore).
+    let traces: Vec<Arc<BlockTrace>> = std::thread::scope(|scope| {
         let handles: Vec<_> = workloads
             .iter()
-            .map(|w| scope.spawn(move || capture(w)))
+            .map(|w| scope.spawn(move || capture_blocks(w)))
             .collect();
         handles
             .into_iter()
@@ -85,9 +100,7 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
     let cells = configs.len() * workloads.len();
     let results: Vec<OnceLock<SimStats>> = (0..cells).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map_or(4, usize::from)
-        .min(cells);
+    let threads = sweep_threads(cells);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -96,11 +109,11 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
                     return;
                 }
                 // Workload-major order: consecutive cells replay the same
-                // trace against different configs, so the packed records
-                // stay cache-hot instead of being streamed from memory
-                // once per configuration row.
+                // trace against different configs, so the block pool and
+                // templates stay cache-hot instead of being streamed from
+                // memory once per configuration row.
                 let (wi, ci) = (cell / configs.len(), cell % configs.len());
-                let stats = replay(&configs[ci], &traces[wi]);
+                let stats = replay_blocks(&configs[ci], &traces[wi]);
                 results[ci * workloads.len() + wi]
                     .set(stats)
                     .expect("cell simulated twice");

@@ -77,6 +77,7 @@ impl MachineModel {
             branch_folding: true,
             write_validation: true,
             cycle_skip: true,
+            block_replay: true,
             observe: false,
             fpu: FpuConfig::recommended(),
             seed: 0xA0707A_u64,
@@ -228,6 +229,15 @@ pub struct MachineConfig {
     /// unit maintenance at each one — a naive reference mode kept for
     /// differential testing; both modes must produce identical stats.
     pub cycle_skip: bool,
+    /// Whether block-mode replay
+    /// ([`Simulator::feed_blocks`](crate::Simulator::feed_blocks)) may
+    /// execute scoreboard-only superinstruction runs through the block
+    /// fast path. When `false`
+    /// the block engine still consumes a lowered `BlockTrace` but walks
+    /// it op by op — a reference mode for differential testing and for
+    /// isolating how much the fast path itself contributes. Stats are
+    /// bit-identical either way (asserted).
+    pub block_replay: bool,
     /// Whether the simulator attaches a cycle-event
     /// [`Observer`](crate::Observer) recording per-unit events, the
     /// fine-grained stall-cause attribution and histograms (see

@@ -56,5 +56,5 @@ mod stats;
 pub use config::{FpIssuePolicy, FpuConfig, IssueWidth, MachineConfig, MachineModel};
 pub use obs::{Histogram, ObsEvent, ObsEventKind, Observer, StallCause};
 pub use rob::ReorderBuffer;
-pub use sim::{replay, simulate, simulate_program, IssueRecord, Simulator};
+pub use sim::{replay, replay_blocks, simulate, simulate_program, IssueRecord, Simulator};
 pub use stats::{SimStats, StallBreakdown, StallKind};

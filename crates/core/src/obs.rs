@@ -375,6 +375,24 @@ impl Observer {
     #[cold]
     #[inline(never)]
     pub fn record(&mut self, cycle: u64, kind: ObsEventKind) {
+        self.record_one(cycle, kind);
+    }
+
+    /// Records a batch of staged events in order, equivalent to calling
+    /// [`Observer::record`] once per event. The simulator buffers events
+    /// in a small fixed array inside its issue loop and flushes per
+    /// group, so the cold outlined call (and its branch-predictor miss)
+    /// is paid once per issue group instead of once per event.
+    #[cold]
+    #[inline(never)]
+    pub fn record_batch(&mut self, events: &[ObsEvent]) {
+        for e in events {
+            self.record_one(e.cycle, e.kind);
+        }
+    }
+
+    #[inline]
+    fn record_one(&mut self, cycle: u64, kind: ObsEventKind) {
         match kind {
             ObsEventKind::Stall { cause, cycles } => {
                 if let Some(slot) = self.stall_cycles.get_mut(cause.index()) {

@@ -18,7 +18,10 @@
 //!   `aurora-core` cycle simulator,
 //! * [`PackedTrace`] — a compact fixed-width trace for capture-once /
 //!   replay-many configuration sweeps, byte-compatible with the binary
-//!   [`write_trace`] / [`read_trace`] on-disk format.
+//!   [`write_trace`] / [`read_trace`] on-disk format,
+//! * [`BlockTrace`] — the packed trace lowered to deduplicated
+//!   basic-block superinstructions with pre-resolved footprints, the
+//!   input of the block-granular replay fast path.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod asm;
+mod block;
 mod builder;
 mod codec;
 mod emu;
@@ -62,6 +66,10 @@ mod trace;
 mod trace_io;
 
 pub use asm::{AsmError, Assembler};
+pub use block::{
+    BlockRun, BlockTemplate, BlockTrace, ClassDemand, LatencyClass, SegPlan, HILO_BIT,
+    MAX_BLOCK_OPS, MIN_PLAN_OPS,
+};
 pub use builder::ProgramBuilder;
 pub use codec::TRACE_FORMAT_VERSION;
 pub use emu::{EmuError, Emulator, RunOutcome};

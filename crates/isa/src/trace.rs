@@ -61,7 +61,7 @@ impl MemWidth {
 }
 
 /// What a dynamic instruction did, with the operands the timing model needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Single-cycle integer ALU operation (including `lui` and moves).
     IntAlu,
@@ -177,7 +177,7 @@ impl OpKind {
 }
 
 /// One retired instruction in a dynamic trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceOp {
     /// The instruction's address.
     pub pc: u32,

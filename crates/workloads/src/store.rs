@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use aurora_isa::{PackedTrace, TRACE_FORMAT_VERSION};
+use aurora_isa::{BlockTrace, PackedTrace, TRACE_FORMAT_VERSION};
 
 use crate::workload::{Scale, Workload, WorkloadError};
 
@@ -32,6 +32,8 @@ type TraceKey = (&'static str, Scale, u64);
 /// One memo slot: concurrent requesters clone the cell, then race to
 /// initialise it exactly once outside the map lock.
 type TraceCell = Arc<OnceLock<Arc<PackedTrace>>>;
+/// Memo slot for a lowered block trace (same keying as [`TraceCell`]).
+type BlockCell = Arc<OnceLock<Arc<BlockTrace>>>;
 
 /// A concurrent memo of captured traces.
 ///
@@ -50,8 +52,10 @@ type TraceCell = Arc<OnceLock<Arc<PackedTrace>>>;
 #[derive(Debug, Default)]
 pub struct TraceStore {
     cells: Mutex<HashMap<TraceKey, TraceCell>>,
+    block_cells: Mutex<HashMap<TraceKey, BlockCell>>,
     captures: AtomicU64,
     disk_hits: AtomicU64,
+    lowerings: AtomicU64,
     cache_dir: Option<PathBuf>,
 }
 
@@ -123,10 +127,56 @@ impl TraceStore {
         }
     }
 
+    /// Returns the basic-block lowering of `workload`'s trace, computing
+    /// it at most once per (name, scale, content-hash) key. The packed
+    /// trace itself is obtained through [`TraceStore::get`], so a
+    /// workload requested both ways still captures exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying capture's [`WorkloadError`]. A failed
+    /// lowering is not cached, so a later call retries.
+    pub fn get_blocks(&self, workload: &Workload) -> Result<Arc<BlockTrace>, WorkloadError> {
+        let key = (workload.name(), workload.scale(), workload.content_hash());
+        let cell = {
+            let mut cells = self.block_cells.lock().expect("trace store poisoned");
+            Arc::clone(cells.entry(key).or_default())
+        };
+        if let Some(blocks) = cell.get() {
+            return Ok(Arc::clone(blocks));
+        }
+        // Lower outside the map lock; the per-key cell guarantees one
+        // winner even under concurrent requests.
+        let mut result = Ok(());
+        let blocks = cell.get_or_init(|| match self.get(workload) {
+            Ok(trace) => {
+                self.lowerings.fetch_add(1, Ordering::Relaxed);
+                Arc::new(BlockTrace::lower(&trace))
+            }
+            Err(e) => {
+                result = Err(e);
+                Arc::new(BlockTrace::default())
+            }
+        });
+        match result {
+            Ok(()) => Ok(Arc::clone(blocks)),
+            Err(e) => {
+                let mut cells = self.block_cells.lock().expect("trace store poisoned");
+                cells.remove(&key);
+                Err(e)
+            }
+        }
+    }
+
     /// Number of emulator captures this store has performed (disk-cache
     /// loads do not count).
     pub fn captures(&self) -> u64 {
         self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Number of block lowerings this store has performed.
+    pub fn lowerings(&self) -> u64 {
+        self.lowerings.load(Ordering::Relaxed)
     }
 
     /// Number of traces satisfied from the on-disk cache.
