@@ -42,10 +42,17 @@ cargo test -q --test event_horizon_differential
 echo "== block-replay differential equivalence =="
 cargo test -q --test block_replay_differential
 
+echo "== checkpoint differential (save/restore/resume bit-identical) =="
+cargo test -q --test checkpoint_differential
+
 echo "== perf smoke (block replay bit-identical at test scale) =="
 mkdir -p target/ci
 cargo run --release -q -p aurora-bench --bin perf_baseline -- \
-    --scale test --out target/ci/BENCH_replay.json --sim-out target/ci/BENCH_sim.json
+    --scale test --out target/ci/BENCH_replay.json --sim-out target/ci/BENCH_sim.json \
+    --sampled-out target/ci/BENCH_sampled.json
 grep -q '"stats_bit_identical": true' target/ci/BENCH_sim.json
+
+echo "== sampled smoke (suite-mean CPI error within 2% of full detail) =="
+grep -q '"mean_cpi_error_within_2pct": true' target/ci/BENCH_sampled.json
 
 echo "CI OK"

@@ -206,6 +206,15 @@ fn book(md: &mut String, scale: Scale) {
              block engine, see docs/MODEL.md \"Block lowering\")",
         ),
         (
+            "sampled-mode accuracy / speedup",
+            "`perf_baseline`",
+            "`perf_baseline -- --scale test`",
+            "`BENCH_sampled.json`",
+            "SMARTS-style sampling (docs/MODEL.md \"Sampled simulation\"): CPI per \
+             kernel × model vs. full-detail ground truth with 95% CIs; suite-mean \
+             error ≤ 2% and ≥ 5× throughput gate the CI smoke",
+        ),
+        (
             "workspace invariant gate",
             "`aurora-lint`",
             "`cargo run -q -p aurora-lint -- --format sarif > lint.sarif` (full command)",

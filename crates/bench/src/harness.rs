@@ -16,6 +16,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use aurora_core::{replay_blocks, MachineConfig, SimStats, Simulator};
 use aurora_isa::BlockTrace;
@@ -56,12 +57,59 @@ fn capture_blocks(workload: &Workload) -> Arc<BlockTrace> {
 }
 
 /// Sizes the sweep thread pool: one thread per hardware thread, but
-/// never more threads than grid cells. This is the figure recorded as
-/// `parallelism` in `BENCH_replay.json`.
+/// never more threads than grid cells. This is the pool *size*; the
+/// parallelism a drain actually achieves is measured per run and
+/// reported by [`MatrixMetrics::achieved_parallelism`].
 pub fn sweep_threads(cells: usize) -> usize {
     std::thread::available_parallelism()
         .map_or(4, usize::from)
         .min(cells.max(1))
+}
+
+/// Observed execution profile of one [`run_matrix_timed`] grid drain.
+///
+/// `parallelism` in `BENCH_replay.json` is the *achieved* figure from
+/// these measurements, not the pool size: a pool of N threads on a
+/// saturated or single-core host overlaps far less than N-fold, and
+/// reporting the thread count as parallelism would overstate the
+/// engine. Busy time is summed per worker around each cell's replay, so
+/// scheduling gaps, queue exhaustion at the tail of the grid and time
+/// stolen by the host all show up as the difference between
+/// `wall_seconds` and the per-thread busy totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatrixMetrics {
+    /// Threads the pool spawned ([`sweep_threads`]).
+    pub threads: usize,
+    /// Wall-clock seconds of the replay drain (phase 2 only — capture
+    /// and lowering are amortised capture-side work).
+    pub wall_seconds: f64,
+    /// Grid cells replayed.
+    pub cells: usize,
+    /// Cells completed by each pool thread, in spawn order.
+    pub per_thread_cells: Vec<usize>,
+    /// Busy seconds (summed cell-replay time) of each pool thread.
+    pub per_thread_seconds: Vec<f64>,
+}
+
+impl MatrixMetrics {
+    /// Achieved parallelism: total busy time across workers divided by
+    /// wall time. At most [`threads`](Self::threads); ~1.0 on a single
+    /// core regardless of pool size.
+    pub fn achieved_parallelism(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.per_thread_seconds.iter().sum::<f64>() / self.wall_seconds
+    }
+
+    /// Per-thread throughput over busy time, in cells per second.
+    pub fn per_thread_cells_per_sec(&self) -> Vec<f64> {
+        self.per_thread_cells
+            .iter()
+            .zip(&self.per_thread_seconds)
+            .map(|(&cells, &secs)| if secs > 0.0 { cells as f64 / secs } else { 0.0 })
+            .collect()
+    }
 }
 
 /// Replays every workload against every configuration: the universal
@@ -79,8 +127,24 @@ pub fn sweep_threads(cells: usize) -> usize {
 /// Panics if any kernel fails to run — kernels are compiled-in and a
 /// failure is a bug, not an operational error.
 pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<SimStats>> {
+    run_matrix_timed(configs, workloads).0
+}
+
+/// [`run_matrix`] with an execution profile: the same grid drain, plus
+/// per-thread cell counts and busy times so callers can report the
+/// parallelism the pool *achieved* (see [`MatrixMetrics`]).
+///
+/// # Panics
+///
+/// Panics if any kernel fails to run — kernels are compiled-in and a
+/// failure is a bug, not an operational error.
+pub fn run_matrix_timed(
+    configs: &[MachineConfig],
+    workloads: &[Workload],
+) -> (Vec<Vec<SimStats>>, MatrixMetrics) {
     if configs.is_empty() || workloads.is_empty() {
-        return configs.iter().map(|_| Vec::new()).collect();
+        let rows = configs.iter().map(|_| Vec::new()).collect();
+        return (rows, MatrixMetrics::default());
     }
     // Phase 1: capture and block-lower each workload's trace, one
     // thread per workload (both steps memoised in the TraceStore).
@@ -101,25 +165,46 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
     let results: Vec<OnceLock<SimStats>> = (0..cells).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let threads = sweep_threads(cells);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let cell = next.fetch_add(1, Ordering::Relaxed);
-                if cell >= cells {
-                    return;
-                }
-                // Workload-major order: consecutive cells replay the same
-                // trace against different configs, so the block pool and
-                // templates stay cache-hot instead of being streamed from
-                // memory once per configuration row.
-                let (wi, ci) = (cell / configs.len(), cell % configs.len());
-                let stats = replay_blocks(&configs[ci], &traces[wi]);
-                results[ci * workloads.len() + wi]
-                    .set(stats)
-                    .expect("cell simulated twice");
-            });
-        }
+    let drain_start = Instant::now();
+    let profile: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = 0usize;
+                    let mut busy = 0.0f64;
+                    loop {
+                        let cell = next.fetch_add(1, Ordering::Relaxed);
+                        if cell >= cells {
+                            return (done, busy);
+                        }
+                        // Workload-major order: consecutive cells replay the same
+                        // trace against different configs, so the block pool and
+                        // templates stay cache-hot instead of being streamed from
+                        // memory once per configuration row.
+                        let (wi, ci) = (cell / configs.len(), cell % configs.len());
+                        let t = Instant::now();
+                        let stats = replay_blocks(&configs[ci], &traces[wi]);
+                        busy += t.elapsed().as_secs_f64();
+                        done += 1;
+                        results[ci * workloads.len() + wi]
+                            .set(stats)
+                            .expect("cell simulated twice");
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
     });
+    let metrics = MatrixMetrics {
+        threads,
+        wall_seconds: drain_start.elapsed().as_secs_f64(),
+        cells,
+        per_thread_cells: profile.iter().map(|&(done, _)| done).collect(),
+        per_thread_seconds: profile.iter().map(|&(_, busy)| busy).collect(),
+    };
     let mut rows: Vec<Vec<SimStats>> = Vec::with_capacity(configs.len());
     let mut cells = results.into_iter();
     for _ in configs {
@@ -131,7 +216,7 @@ pub fn run_matrix(configs: &[MachineConfig], workloads: &[Workload]) -> Vec<Vec<
                 .collect(),
         );
     }
-    rows
+    (rows, metrics)
 }
 
 /// Runs a benchmark list against one config via [`run_matrix`] (captured
@@ -296,6 +381,34 @@ mod tests {
                 assert_eq!(*stats, run(cfg, w), "{} mismatch", w.name());
             }
         }
+    }
+
+    #[test]
+    fn timed_matrix_profiles_the_real_pool() {
+        let configs = [
+            MachineModel::Small.config(IssueWidth::Single, LatencyModel::Fixed(17)),
+            MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17)),
+        ];
+        let workloads = [
+            IntBenchmark::Espresso.workload(Scale::Test),
+            IntBenchmark::Li.workload(Scale::Test),
+        ];
+        let (grid, m) = run_matrix_timed(&configs, &workloads);
+        assert_eq!(grid, run_matrix(&configs, &workloads));
+        assert_eq!(m.cells, configs.len() * workloads.len());
+        assert_eq!(m.threads, sweep_threads(m.cells));
+        assert_eq!(m.per_thread_cells.len(), m.threads);
+        assert_eq!(m.per_thread_seconds.len(), m.threads);
+        // Every cell is accounted to exactly one worker.
+        assert_eq!(m.per_thread_cells.iter().sum::<usize>(), m.cells);
+        // Busy time is real work: positive, and it cannot overlap more
+        // than the pool allows.
+        let busy: f64 = m.per_thread_seconds.iter().sum();
+        assert!(busy > 0.0 && m.wall_seconds > 0.0);
+        // Small slack for timer skew between the per-cell and wall clocks.
+        let achieved = m.achieved_parallelism();
+        assert!(achieved > 0.0 && achieved <= m.threads as f64 * 1.05);
+        assert_eq!(m.per_thread_cells_per_sec().len(), m.threads);
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   coalescing write cache, stream-buffer prefetching, split-transaction
 //!   BIU) coupled to the decoupled FPU,
 //! * [`SimStats`] — CPI plus the stall-cycle breakdown of Figure 6 and
-//!   per-structure statistics for every table in the paper.
+//!   per-structure statistics for every table in the paper,
+//! * [`run_sampled`] — SMARTS-style sampled simulation: detailed windows
+//!   over a functional-warming fast-forward ([`Simulator::warm_digest`]),
+//!   CPI estimates with confidence intervals ([`SampledStats`]), and
+//!   whole-machine checkpoints ([`Simulator::save_checkpoint`] /
+//!   [`Simulator::restore_checkpoint`]) whose save → restore → resume
+//!   round trip is bit-identical to uninterrupted execution.
 //!
 //! # Quick start
 //!
@@ -50,11 +56,17 @@ mod config;
 mod fpu;
 pub mod obs;
 mod rob;
+pub mod sample;
 mod sim;
 mod stats;
 
-pub use config::{FpIssuePolicy, FpuConfig, IssueWidth, MachineConfig, MachineModel};
+pub use config::{
+    FpIssuePolicy, FpuConfig, IssueWidth, MachineConfig, MachineModel, SamplingConfig,
+};
 pub use obs::{Histogram, ObsEvent, ObsEventKind, Observer, StallCause};
 pub use rob::ReorderBuffer;
-pub use sim::{replay, replay_blocks, simulate, simulate_program, IssueRecord, Simulator};
+pub use sample::{run_sampled, run_sampled_digest, run_sampled_records, SampledStats};
+pub use sim::{
+    replay, replay_blocks, simulate, simulate_program, IssueRecord, Simulator, WarmDigest,
+};
 pub use stats::{SimStats, StallBreakdown, StallKind};

@@ -37,10 +37,11 @@
 //! [`SimStats`] and the differential suite enforces it.
 
 use std::collections::VecDeque;
+use std::ops::Range;
 
 use aurora_isa::{
-    ArchReg, BlockTemplate, BlockTrace, EmuError, Emulator, OpKind, PackedTrace, Program, SegPlan,
-    TraceOp, HILO_BIT,
+    ArchReg, BlockTemplate, BlockTrace, EmuError, Emulator, OpKind, PackedOp, PackedTrace, Program,
+    SegPlan, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, TraceOp, HILO_BIT,
 };
 use aurora_mem::{
     Biu, DecodedICache, DirectMappedCache, Geometry, LineAddr, MshrFile, PairInfo, StreamBuffers,
@@ -78,6 +79,10 @@ const OBS_BATCH: usize = 24;
 /// path: below this the entry checks cost more than the per-group
 /// savings.
 const MIN_FAST_RUN: usize = 2;
+/// Upper bound on the serialized pending-queue blob inside a checkpoint.
+/// The look-ahead queue holds at most one op between public calls, so a
+/// longer blob can only come from a corrupt image.
+const PENDING_BLOB_CAP: usize = 4096;
 
 /// A taken control transfer awaiting its post-delay-slot fetch.
 #[derive(Debug, Clone, Copy)]
@@ -325,6 +330,19 @@ impl<'cfg> Simulator<'cfg> {
         self.cfg
     }
 
+    /// The current issue-clock cycle. Monotone within a run; the sampling
+    /// estimator measures windows as deltas of
+    /// `(cycle, retired_instructions)` pairs.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Instructions issued so far (the dual-issue look-ahead queue may
+    /// hold one further op that has been fed but not yet issued).
+    pub fn retired_instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
     /// Feeds one trace op; issues as soon as pairing look-ahead allows.
     pub fn feed(&mut self, op: TraceOp) {
         self.pending.push_back(op);
@@ -344,11 +362,17 @@ impl<'cfg> Simulator<'cfg> {
     /// pairing look-ahead reads `ops[i + 1]` in place, so the per-op
     /// queue shuffle [`Simulator::feed`] pays for incremental delivery
     /// disappears from the replay hot path.
+    pub fn feed_packed(&mut self, trace: &PackedTrace) {
+        self.feed_records(trace.records());
+    }
+
+    /// [`Simulator::feed_packed`] over a raw record slice. The sampling
+    /// driver uses this to run an arbitrary window of a shared capture
+    /// in detail without re-slicing the owning [`PackedTrace`].
     // lint:allow(L002): every index is bounds-guarded by the explicit
     // `i + 1 < ops.len()` checks on each loop path; `get()` would add an
     // unwrap branch per replayed record to the hottest loop in the tree
-    pub fn feed_packed(&mut self, trace: &PackedTrace) {
-        let ops = trace.records();
+    pub fn feed_records(&mut self, ops: &[PackedOp]) {
         let mut i = 0;
         // Ops buffered by earlier feed() calls pair with the trace head.
         while i < ops.len() && !self.pending.is_empty() {
@@ -1582,6 +1606,532 @@ impl<'cfg> Simulator<'cfg> {
             },
         );
     }
+
+    // --- Functional warming (SMARTS-style fast-forward) -----------------
+
+    /// Fast-forwards over a captured trace with *functional warming*: ops
+    /// retire at near-emulator speed — no issue constraints, no stall
+    /// attribution, no clock movement — while the long-history state that
+    /// determines a later window's accuracy keeps updating: I-cache tags
+    /// and pre-decode, D-cache tags, write-cache lines, and stream-buffer
+    /// allocation. Short-history state (scoreboard, ROB, queues, BIU
+    /// busses) is left untouched; a detailed warm-up window re-fills it
+    /// before measurement starts, exactly as SMARTS prescribes.
+    ///
+    /// Warming advances unit *state* silently: hit/miss/access counters
+    /// do not move (residency checks are the stat-free `contains`
+    /// variants), so statistics keep describing detailed execution
+    /// only. A sampling estimator should nevertheless measure windows
+    /// as *deltas* of `(cycle, instructions)` around the detailed
+    /// region — which is what
+    /// [`run_sampled`](crate::sample::run_sampled) does.
+    pub fn warm_packed(&mut self, trace: &PackedTrace) {
+        self.warm_records(trace.records());
+    }
+
+    /// [`Simulator::warm_packed`] over a raw record slice.
+    pub fn warm_records(&mut self, ops: &[PackedOp]) {
+        // Flush the dual-issue look-ahead through the detailed path so
+        // warming starts from a consistent boundary, then drop any armed
+        // control-transfer redirect: its timing context belongs to the
+        // detailed region being abandoned.
+        while !self.pending.is_empty() {
+            self.issue_group();
+        }
+        self.after_ctl = None;
+        self.delay_pending = None;
+        // Warming never reads register operands: decode only pc + kind
+        // (see `PackedOp::kind_only`). Two one-line memos elide repeated
+        // probes of the line just touched: consecutive probes of one
+        // line are idempotent on tag and LRU state (the first touch
+        // makes it resident and most-recent; repeats change nothing),
+        // so skipping them alters only probe counters — and warming
+        // statistics are pollution the estimator ignores anyway. Each
+        // memo is invalidated the moment a different line (or, for the
+        // data side, any store) could disturb the residency it recalls.
+        let mut warm_iline: Option<LineAddr> = None;
+        let mut warm_dline: Option<LineAddr> = None;
+        for rec in ops {
+            let pc32 = rec.pc();
+            let pc = u64::from(pc32);
+            // I-stream: tag and pre-decode maintenance on pair
+            // transition, mirroring fetch() minus all timing.
+            if self.last_fetch_pair != Some(pc >> 3) {
+                self.last_fetch_pair = Some(pc >> 3);
+                let line = self.icache.geometry().line(pc);
+                if warm_iline != Some(line) {
+                    if !self.icache.contains(pc) {
+                        self.warm_stream(line, true);
+                        self.icache.fill(pc);
+                    }
+                    warm_iline = Some(line);
+                }
+            }
+            match rec.kind_only() {
+                OpKind::Load { ea, width } | OpKind::FpLoad { ea, width } => {
+                    let ea = u64::from(ea);
+                    let line = self.dcache.geometry().line(ea);
+                    if warm_dline != Some(line) {
+                        if !self.write_cache.load_covers(ea, width.bytes())
+                            && !self.dcache.contains(ea)
+                        {
+                            self.warm_stream(line, false);
+                            self.dcache.fill_line(line);
+                        }
+                        warm_dline = Some(line);
+                    }
+                }
+                OpKind::Store { ea, width } | OpKind::FpStore { ea, width } => {
+                    let ea = u64::from(ea);
+                    // The eviction/validation outcome is bus traffic —
+                    // timing state; warming only needs the line
+                    // occupancy to evolve. A write-cache eviction or a
+                    // data-cache fill here may displace whatever the
+                    // load memo recalls, so drop it.
+                    self.write_cache.warm_store(ea, width.bytes());
+                    if !self.dcache.contains(ea) {
+                        self.dcache.fill(ea);
+                    }
+                    warm_dline = None;
+                }
+                OpKind::Branch { target, .. } => {
+                    self.record_ctl_pair(pc32, Some(u64::from(target)));
+                }
+                OpKind::Jump { target, register } => {
+                    self.record_ctl_pair(pc32, (!register).then_some(u64::from(target)));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Stream-buffer maintenance for a warmed miss: the same probe /
+    /// deepen / allocate sequence [`Simulator::service_miss`] performs,
+    /// with zero-cycle issue callbacks in place of BIU requests so the
+    /// allocation state (which buffer tracks which stream, LRU order,
+    /// depths) evolves while the busses stay untouched.
+    fn warm_stream(&mut self, line: LineAddr, instr: bool) {
+        let Some(streams) = self.streams.as_mut() else {
+            return;
+        };
+        let now = self.now;
+        let stats = if instr {
+            &mut self.istream
+        } else {
+            &mut self.dstream
+        };
+        stats.probes += 1;
+        match streams.probe(line, now) {
+            StreamProbe::Hit { .. } => {
+                stats.hits += 1;
+                let mut issued = 0;
+                streams.deepen(|_l| {
+                    issued += 1;
+                    now
+                });
+                stats.prefetches_issued += issued;
+            }
+            StreamProbe::Miss => {
+                let mut issued = 0;
+                streams.allocate(line, now, |_l| {
+                    issued += 1;
+                    now
+                });
+                stats.prefetches_issued += issued;
+                stats.allocations += 1;
+            }
+        }
+    }
+
+    /// Fast-forwards over the ops at `range` of the trace a
+    /// [`WarmDigest`] was built from. Semantically this is
+    /// [`Simulator::warm_records`] over the same slice — the digest just
+    /// pre-extracts the events warming reacts to (cache-line
+    /// transitions, memory references, control transfers) so the
+    /// per-op decode and same-line skip checks are paid once per trace
+    /// instead of once per model × sampling pass.
+    ///
+    /// The caller must build the digest with this machine's line size
+    /// ([`WarmDigest::line_bytes`]); [`run_sampled`] falls back to
+    /// [`Simulator::warm_records`] when the geometry disagrees.
+    ///
+    /// One deliberate divergence from `warm_records`: the fetch-pair
+    /// tracker advances per line transition rather than per pair, so it
+    /// may lag within the final line of the range. The first detailed
+    /// fetch after warming then re-probes a pair that was already
+    /// resident — a deterministic, warm-up-absorbed perturbation —
+    /// while tags, pre-decode, write cache and stream allocation state
+    /// evolve identically.
+    ///
+    /// [`run_sampled`]: crate::sample::run_sampled
+    pub fn warm_digest(&mut self, digest: &WarmDigest, range: Range<usize>) {
+        debug_assert_eq!(
+            digest.line_bytes(),
+            self.icache.geometry().line_bytes(),
+            "digest line granule must match the machine's line size",
+        );
+        while !self.pending.is_empty() {
+            self.issue_group();
+        }
+        self.after_ctl = None;
+        self.delay_pending = None;
+        let mut warm_dline: Option<LineAddr> = None;
+        for ev in digest.events_in(range) {
+            match ev.tag {
+                WE_FETCH => {
+                    // No same-line memo here: fetch events only exist at
+                    // line transitions, so consecutive ones never repeat
+                    // a line and a memo could never hit.
+                    let pc = u64::from(ev.a);
+                    self.last_fetch_pair = Some(pc >> 3);
+                    if !self.icache.contains(pc) {
+                        let line = self.icache.geometry().line(pc);
+                        self.warm_stream(line, true);
+                        self.icache.fill(pc);
+                    }
+                }
+                WE_LOAD => {
+                    let ea = u64::from(ev.a);
+                    let line = self.dcache.geometry().line(ea);
+                    if warm_dline != Some(line) {
+                        if !self.write_cache.load_covers(ea, u32::from(ev.bytes))
+                            && !self.dcache.contains(ea)
+                        {
+                            self.warm_stream(line, false);
+                            self.dcache.fill_line(line);
+                        }
+                        warm_dline = Some(line);
+                    }
+                }
+                WE_STORE => {
+                    let ea = u64::from(ev.a);
+                    self.write_cache.warm_store(ea, u32::from(ev.bytes));
+                    if !self.dcache.contains(ea) {
+                        self.dcache.fill(ea);
+                    }
+                    warm_dline = None;
+                }
+                WE_CTL => {
+                    self.record_ctl_pair(ev.a, Some(u64::from(ev.b)));
+                }
+                _ => {
+                    debug_assert_eq!(ev.tag, WE_CTL_INDIRECT);
+                    self.record_ctl_pair(ev.a, None);
+                }
+            }
+        }
+    }
+
+    // --- Whole-machine checkpoints ---------------------------------------
+
+    /// Serializes the complete machine state — clock, front end,
+    /// scoreboard, ROB, every memory-system unit (tags, MSHRs, stream
+    /// buffers, write cache, BIU busses and RNG), the FPU, the pending
+    /// look-ahead queue and all statistics — into a versioned binary
+    /// image. Restoring it into a simulator built from the *same*
+    /// [`MachineConfig`] and resuming produces bit-identical [`SimStats`]
+    /// to the uninterrupted run (enforced by the checkpoint differential
+    /// suite). Diagnostics (observer ring, issue log) are not captured.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(*b"SIM_");
+        w.put_u64(self.now);
+        w.put_opt_u64(self.last_fetch_pair);
+        save_redirect(&mut w, self.after_ctl);
+        save_redirect(&mut w, self.delay_pending);
+        for &(ready, cause) in &self.int_score {
+            w.put_u64(ready);
+            w.put_u8(cause_code(cause));
+        }
+        w.put_u64(self.hilo.0);
+        w.put_u8(cause_code(self.hilo.1));
+        self.rob.save(&mut w);
+        self.icache.save(&mut w);
+        self.dcache.save(&mut w);
+        w.put_u64(self.dcache_port_free);
+        w.put_len(self.pending_fills.len());
+        for &(line, arrival) in &self.pending_fills {
+            w.put_u64(line.0);
+            w.put_u64(arrival);
+        }
+        w.put_u64(self.next_fill_at);
+        self.write_cache.save(&mut w);
+        self.mshrs.save(&mut w);
+        w.put_bool(self.streams.is_some());
+        if let Some(streams) = &self.streams {
+            streams.save(&mut w);
+        }
+        self.biu.save(&mut w);
+        self.istream.save(&mut w);
+        self.dstream.save(&mut w);
+        self.fpu.save(&mut w);
+        // The ≤1-op look-ahead queue rides along as an embedded packed
+        // trace, reusing its validated codec.
+        let queue = PackedTrace::from_ops(self.pending.iter().copied());
+        let mut blob = Vec::new();
+        let wrote = queue.write_to(&mut blob);
+        debug_assert!(wrote.is_ok(), "writing to a Vec cannot fail");
+        w.put_len(blob.len());
+        w.put_bytes(&blob);
+        w.put_u64(self.fetch_bubble);
+        w.put_u64(self.warm_cycle_offset);
+        self.stats.save(&mut w);
+        w.finish()
+    }
+
+    /// Restores a [`Simulator::save_checkpoint`] image in place.
+    ///
+    /// The simulator must have been built from the same configuration
+    /// that produced the image: capacities are configuration, so they are
+    /// cross-checked rather than serialized, and any mismatch surfaces as
+    /// [`SnapshotError::Corrupt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on any malformed, truncated,
+    /// version-mismatched or capacity-mismatched image; the simulator
+    /// state is unspecified after an error (restore into a fresh one).
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.section(*b"SIM_")?;
+        self.now = r.u64()?;
+        self.last_fetch_pair = r.opt_u64()?;
+        self.after_ctl = restore_redirect(&mut r)?;
+        self.delay_pending = restore_redirect(&mut r)?;
+        for slot in &mut self.int_score {
+            *slot = (r.u64()?, cause_from(r.u8()?)?);
+        }
+        self.hilo = (r.u64()?, cause_from(r.u8()?)?);
+        self.rob.restore(&mut r)?;
+        self.icache.restore(&mut r)?;
+        self.dcache.restore(&mut r)?;
+        self.dcache_port_free = r.u64()?;
+        // Every pending fill holds an MSHR, so the file's capacity bounds
+        // the list.
+        let fills = r.len(self.mshrs.capacity())?;
+        self.pending_fills.clear();
+        for _ in 0..fills {
+            self.pending_fills.push((LineAddr(r.u64()?), r.u64()?));
+        }
+        self.next_fill_at = r.u64()?;
+        self.write_cache.restore(&mut r)?;
+        self.mshrs.restore(&mut r)?;
+        if r.bool()? != self.streams.is_some() {
+            return Err(SnapshotError::Corrupt("stream-buffer presence mismatch"));
+        }
+        if let Some(streams) = self.streams.as_mut() {
+            streams.restore(&mut r)?;
+        }
+        self.biu.restore(&mut r)?;
+        self.istream.restore(&mut r)?;
+        self.dstream.restore(&mut r)?;
+        self.fpu.restore(&mut r)?;
+        let blob_len = r.len(PENDING_BLOB_CAP)?;
+        let blob = r.bytes(blob_len)?;
+        let queue = PackedTrace::read_from(&mut &blob[..])
+            .map_err(|_| SnapshotError::Corrupt("pending-queue trace blob"))?;
+        if queue.records().len() > 2 {
+            return Err(SnapshotError::Corrupt("pending queue too long"));
+        }
+        self.pending.clear();
+        for rec in queue.records() {
+            self.pending.push_back(rec.unpack());
+        }
+        self.fetch_bubble = r.u64()?;
+        self.warm_cycle_offset = r.u64()?;
+        self.stats.restore(&mut r)?;
+        r.finish()?;
+        self.obs_buf_len = 0;
+        #[cfg(debug_assertions)]
+        self.horizon_probe.set(None);
+        Ok(())
+    }
+}
+
+/// Event tags for [`WarmDigest`] entries.
+const WE_FETCH: u8 = 0;
+const WE_LOAD: u8 = 1;
+const WE_STORE: u8 = 2;
+const WE_CTL: u8 = 3;
+const WE_CTL_INDIRECT: u8 = 4;
+
+/// One pre-extracted warming event: `a` holds the fetch/control PC or
+/// the memory effective address, `b` a direct control target, `bytes`
+/// the access width.
+#[derive(Clone, Copy)]
+struct WarmEvent {
+    op_idx: u32,
+    a: u32,
+    b: u32,
+    tag: u8,
+    bytes: u8,
+}
+
+/// The subsequence of a trace that functional warming actually reacts
+/// to, pre-extracted once so every warm pass skips the ops that cannot
+/// change warm state.
+///
+/// Warming over raw records ([`Simulator::warm_records`]) decodes every
+/// op only to ignore most of them: ALU and FP arithmetic touch no warm
+/// state, and instruction-side probes collapse to one per cache-line
+/// transition. A digest walks the trace once, keeps only line
+/// transitions, memory references and control transfers — each stamped
+/// with its op index — and [`Simulator::warm_digest`] then replays an
+/// arbitrary index range by binary-searching the event list. The digest
+/// depends on the trace and the line granule alone, never on a machine
+/// model, so one digest serves every configuration sharing a line size
+/// (every [`MachineModel`](crate::MachineModel) preset uses 32-byte
+/// lines) across any number of sampling passes.
+pub struct WarmDigest {
+    line_bytes: u32,
+    events: Vec<WarmEvent>,
+}
+
+impl WarmDigest {
+    /// Extracts the warming events of `ops` at a `line_bytes` fetch
+    /// granule (power of two, at least one 8-byte pair per line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two at least 8, or if
+    /// the trace holds `u32::MAX` ops or more (digest indices are
+    /// 32-bit; captured traces are orders of magnitude smaller).
+    #[must_use]
+    pub fn build(ops: &[PackedOp], line_bytes: u32) -> WarmDigest {
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= 8,
+            "line_bytes {line_bytes} invalid"
+        );
+        assert!(
+            u32::try_from(ops.len()).is_ok(),
+            "trace too large to digest"
+        );
+        let shift = line_bytes.trailing_zeros();
+        let mut events = Vec::with_capacity(ops.len() / 2);
+        let mut last_line = u64::MAX;
+        for (idx, rec) in ops.iter().enumerate() {
+            let op_idx = idx as u32;
+            let pc = rec.pc();
+            let line = u64::from(pc >> shift);
+            if line != last_line {
+                last_line = line;
+                events.push(WarmEvent {
+                    op_idx,
+                    a: pc,
+                    b: 0,
+                    tag: WE_FETCH,
+                    bytes: 0,
+                });
+            }
+            match rec.kind_only() {
+                OpKind::Load { ea, width } | OpKind::FpLoad { ea, width } => {
+                    events.push(WarmEvent {
+                        op_idx,
+                        a: ea,
+                        b: 0,
+                        tag: WE_LOAD,
+                        bytes: width.bytes() as u8,
+                    });
+                }
+                OpKind::Store { ea, width } | OpKind::FpStore { ea, width } => {
+                    events.push(WarmEvent {
+                        op_idx,
+                        a: ea,
+                        b: 0,
+                        tag: WE_STORE,
+                        bytes: width.bytes() as u8,
+                    });
+                }
+                OpKind::Branch { target, .. } => {
+                    events.push(WarmEvent {
+                        op_idx,
+                        a: pc,
+                        b: target,
+                        tag: WE_CTL,
+                        bytes: 0,
+                    });
+                }
+                OpKind::Jump { target, register } => {
+                    events.push(WarmEvent {
+                        op_idx,
+                        a: pc,
+                        b: target,
+                        tag: if register { WE_CTL_INDIRECT } else { WE_CTL },
+                        bytes: 0,
+                    });
+                }
+                _ => {}
+            }
+        }
+        WarmDigest { line_bytes, events }
+    }
+
+    /// The fetch-line granule the digest was extracted at.
+    #[must_use]
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of warming events extracted (the density `len() /
+    /// trace_ops` is the fraction of the trace warming actually
+    /// touches).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the digest holds no events (an empty trace).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events whose source op index falls in `range`.
+    fn events_in(&self, range: Range<usize>) -> &[WarmEvent] {
+        let lo = self
+            .events
+            .partition_point(|e| (e.op_idx as usize) < range.start);
+        let hi = lo + self.events[lo..].partition_point(|e| (e.op_idx as usize) < range.end);
+        &self.events[lo..hi]
+    }
+}
+
+/// Serializes an optional fetch redirect (presence, branch PC, foldable).
+fn save_redirect(w: &mut SnapshotWriter, r: Option<Redirect>) {
+    w.put_bool(r.is_some());
+    if let Some(r) = r {
+        w.put_u64(r.branch_pc);
+        w.put_bool(r.foldable);
+    }
+}
+
+/// Inverse of [`save_redirect`].
+fn restore_redirect(r: &mut SnapshotReader<'_>) -> Result<Option<Redirect>, SnapshotError> {
+    Ok(if r.bool()? {
+        Some(Redirect {
+            branch_pc: r.u64()?,
+            foldable: r.bool()?,
+        })
+    } else {
+        None
+    })
+}
+
+/// Stable wire code for a [`StallCause`]: its position in
+/// [`StallCause::ALL`].
+fn cause_code(c: StallCause) -> u8 {
+    StallCause::ALL
+        .iter()
+        .position(|&x| x == c)
+        .unwrap_or_default() as u8
+}
+
+/// Inverse of [`cause_code`].
+fn cause_from(code: u8) -> Result<StallCause, SnapshotError> {
+    StallCause::ALL
+        .get(usize::from(code))
+        .copied()
+        .ok_or(SnapshotError::Corrupt("unknown stall-cause code"))
 }
 
 fn needs_rob(kind: OpKind) -> bool {
@@ -2270,5 +2820,112 @@ mod tests {
         let a = simulate(&c, trace.clone());
         let b = simulate(&c, trace);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    /// A trace exercising every checkpointed unit: loads and stores that
+    /// miss, ALU chains, taken branches with delay slots.
+    fn mixed_trace(n: u32) -> Vec<TraceOp> {
+        (0..n)
+            .map(|i| match i % 7 {
+                0 => load(
+                    BASE + 4 * (i % 64),
+                    (8 + i % 4) as u8,
+                    0x0010_0000 + 64 * (i % 777),
+                ),
+                1 => store(BASE + 4 * (i % 64), 0x0070_0000 + 32 * (i % 300)),
+                4 => TraceOp {
+                    pc: BASE + 4 * (i % 64),
+                    kind: OpKind::Branch {
+                        taken: i % 3 == 0,
+                        target: BASE + 4 * ((i + 9) % 64),
+                    },
+                    dst: None,
+                    src1: Some(ArchReg::Int(8)),
+                    src2: None,
+                },
+                _ => alu(
+                    BASE + 4 * (i % 64),
+                    (8 + i % 4) as u8,
+                    (8 + (i + 1) % 4) as u8,
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let mut c = cfg(MachineModel::Small, IssueWidth::Dual);
+        c.memory_latency = LatencyModel::average_35(); // exercises the BIU RNG
+        let trace = mixed_trace(4000);
+        let uninterrupted = simulate(&c, trace.clone());
+        for split in [1usize, 123, 1000, 3999] {
+            let mut a = Simulator::new(&c);
+            for op in trace.iter().take(split) {
+                a.feed(*op);
+            }
+            let image = a.save_checkpoint();
+            let mut b = Simulator::new(&c);
+            b.restore_checkpoint(&image).expect("restore failed");
+            for op in trace.iter().skip(split) {
+                b.feed(*op);
+            }
+            assert_eq!(b.finish(), uninterrupted, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption_and_config_mismatch() {
+        let c = cfg(MachineModel::Baseline, IssueWidth::Single);
+        let mut sim = Simulator::new(&c);
+        for op in mixed_trace(200) {
+            sim.feed(op);
+        }
+        let image = sim.save_checkpoint();
+        let mut fresh = Simulator::new(&c);
+        assert!(
+            fresh
+                .restore_checkpoint(image.get(..image.len() - 1).unwrap_or(&[]))
+                .is_err(),
+            "truncated image must be rejected"
+        );
+        let mut bad = image.clone();
+        if let Some(v) = bad.get_mut(8) {
+            *v ^= 0xFF; // header version low byte
+        }
+        let mut versioned = Simulator::new(&c);
+        assert!(versioned.restore_checkpoint(&bad).is_err());
+        // A different geometry fails the line-count cross-checks.
+        let big = cfg(MachineModel::Large, IssueWidth::Single);
+        let mut other = Simulator::new(&big);
+        assert!(other.restore_checkpoint(&image).is_err());
+    }
+
+    #[test]
+    fn functional_warming_fills_tags_without_detailed_cost() {
+        let c = cfg(MachineModel::Baseline, IssueWidth::Single);
+        let trace: Vec<TraceOp> = (0..256u32)
+            .map(|i| load(BASE + 4 * (i % 128), 8, 0x0010_0000 + 64 * (i % 200)))
+            .collect();
+        let capture = PackedTrace::from_ops(trace.iter().copied());
+        let cold = replay(&c, &capture);
+        let mut sim = Simulator::new(&c);
+        sim.warm_packed(&capture);
+        sim.mark_warm();
+        sim.feed_packed(&capture);
+        let warm = sim.finish();
+        assert_eq!(warm.instructions, cold.instructions);
+        assert!(
+            warm.icache.misses < cold.icache.misses,
+            "warming must pre-fill instruction tags: {} vs {}",
+            warm.icache.misses,
+            cold.icache.misses
+        );
+        assert!(
+            warm.dcache.misses < cold.dcache.misses,
+            "warming must pre-fill data tags: {} vs {}",
+            warm.dcache.misses,
+            cold.dcache.misses
+        );
+        assert!(warm.cycles < cold.cycles);
     }
 }

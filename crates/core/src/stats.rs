@@ -4,6 +4,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use aurora_isa::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use aurora_mem::{BiuStats, CacheStats, MshrStats, StreamStats, WriteCacheStats};
 
 /// The IPU stall conditions the paper attributes cycles to (§5.3), plus
@@ -217,6 +218,54 @@ impl SimStats {
             s(StallKind::FpResult),
             s(StallKind::Interlock),
         )
+    }
+}
+
+impl Snapshot for SimStats {
+    /// Every counter, in declaration order; the stall breakdown is keyed
+    /// by [`StallKind::ALL`]'s order so the layout is stable even if the
+    /// backing array changes representation.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(*b"STAT");
+        w.put_u64(self.cycles);
+        w.put_u64(self.instructions);
+        for kind in StallKind::ALL {
+            w.put_u64(self.stalls[kind]);
+        }
+        self.icache.save(w);
+        self.dcache.save(w);
+        self.istream.save(w);
+        self.dstream.save(w);
+        self.write_cache.save(w);
+        self.mshr.save(w);
+        self.biu.save(w);
+        w.put_u64(self.fp_instructions);
+        w.put_u64(self.fp_dual_issues);
+        w.put_u64(self.folded_branches);
+        w.put_u64(self.unfolded_branches);
+        w.put_u64(self.dual_issues);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section(*b"STAT")?;
+        self.cycles = r.u64()?;
+        self.instructions = r.u64()?;
+        for kind in StallKind::ALL {
+            self.stalls[kind] = r.u64()?;
+        }
+        self.icache.restore(r)?;
+        self.dcache.restore(r)?;
+        self.istream.restore(r)?;
+        self.dstream.restore(r)?;
+        self.write_cache.restore(r)?;
+        self.mshr.restore(r)?;
+        self.biu.restore(r)?;
+        self.fp_instructions = r.u64()?;
+        self.fp_dual_issues = r.u64()?;
+        self.folded_branches = r.u64()?;
+        self.unfolded_branches = r.u64()?;
+        self.dual_issues = r.u64()?;
+        Ok(())
     }
 }
 

@@ -21,7 +21,10 @@
 //!   [`write_trace`] / [`read_trace`] on-disk format,
 //! * [`BlockTrace`] — the packed trace lowered to deduplicated
 //!   basic-block superinstructions with pre-resolved footprints, the
-//!   input of the block-granular replay fast path.
+//!   input of the block-granular replay fast path,
+//! * [`Snapshot`] / [`SnapshotWriter`] / [`SnapshotReader`] — the
+//!   versioned binary checkpoint codec units use to freeze dynamic state
+//!   so a run can be saved, restored and resumed bit-identically.
 //!
 //! # Example
 //!
@@ -62,13 +65,14 @@ mod opcode;
 mod packed;
 mod program;
 mod reg;
+mod snapshot;
 mod trace;
 mod trace_io;
 
 pub use asm::{AsmError, Assembler};
 pub use block::{
-    BlockRun, BlockTemplate, BlockTrace, ClassDemand, LatencyClass, SegPlan, HILO_BIT,
-    MAX_BLOCK_OPS, MIN_PLAN_OPS,
+    BlockRun, BlockTemplate, BlockTrace, ClassDemand, LatencyClass, SegPlan, BLOCK_FORMAT_VERSION,
+    HILO_BIT, MAX_BLOCK_OPS, MIN_PLAN_OPS,
 };
 pub use builder::ProgramBuilder;
 pub use codec::TRACE_FORMAT_VERSION;
@@ -78,5 +82,8 @@ pub use opcode::{Opcode, OpcodeClass};
 pub use packed::{PackedOp, PackedTrace};
 pub use program::{DelaySlotError, Program, Segment};
 pub use reg::{FReg, Reg};
+pub use snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, CHECKPOINT_FORMAT_VERSION,
+};
 pub use trace::{ArchReg, MemWidth, OpKind, TraceOp, TraceStats};
 pub use trace_io::{read_trace, write_trace, TraceReader, TraceWriter};

@@ -92,6 +92,24 @@ impl PackedOp {
         }
     }
 
+    /// The instruction address, without decoding the rest of the record.
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Decodes only the [`OpKind`], skipping the three register fields.
+    ///
+    /// Functional warming retires millions of ops per second and never
+    /// reads the register operands, so paying the register decode of
+    /// [`unpack`](Self::unpack) there would be pure overhead.
+    #[inline]
+    pub fn kind_only(&self) -> OpKind {
+        let kind = codec::unpack_kind(self.kind, self.aux, self.payload);
+        debug_assert!(kind.is_ok(), "PackedOp holds a validated kind");
+        kind.unwrap_or(OpKind::Nop)
+    }
+
     pub(crate) fn fields(&self) -> (u32, u8, u8, u32, u8, u8, u8) {
         (
             self.pc,

@@ -19,6 +19,7 @@
 
 use std::fmt;
 
+use aurora_isa::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -255,6 +256,57 @@ impl Biu {
     /// Resets statistics (keeps bus state).
     pub fn reset_stats(&mut self) {
         self.stats = BiuStats::default();
+    }
+}
+
+impl Snapshot for BiuStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.instr_fills);
+        w.put_u64(self.data_fills);
+        w.put_u64(self.prefetches);
+        w.put_u64(self.write_backs);
+        w.put_u64(self.validations);
+        w.put_u64(self.receive_busy_cycles);
+        w.put_u64(self.transmit_busy_cycles);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.instr_fills = r.u64()?;
+        self.data_fills = r.u64()?;
+        self.prefetches = r.u64()?;
+        self.write_backs = r.u64()?;
+        self.validations = r.u64()?;
+        self.receive_busy_cycles = r.u64()?;
+        self.transmit_busy_cycles = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Biu {
+    /// Bus occupancy horizons, the raw xoshiro256++ latency-RNG state and
+    /// the counters. Serializing the RNG is what makes a resumed run draw
+    /// the same `Uniform`/`Bimodal` latency sequence as an uninterrupted
+    /// one — without it every subsequent miss time would diverge.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(*b"BIU_");
+        w.put_u64(self.transmit_free_at);
+        w.put_u64(self.receive_free_at);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section(*b"BIU_")?;
+        self.transmit_free_at = r.u64()?;
+        self.receive_free_at = r.u64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(state);
+        self.stats.restore(r)
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use aurora_isa::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::addr::{Geometry, LineAddr};
 
 /// Hit/miss counters for a cache.
@@ -138,6 +140,49 @@ impl DirectMappedCache {
     /// Resets the statistics (keeps contents; used to exclude warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.accesses);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.evictions);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.accesses = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        self.evictions = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for DirectMappedCache {
+    /// Geometry is configuration, not state: only the tag array and the
+    /// counters are recorded, and a restore into a cache with a different
+    /// line count fails as corruption.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(*b"CACH");
+        w.put_len(self.tags.len());
+        for &tag in &self.tags {
+            w.put_opt_u64(tag);
+        }
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section(*b"CACH")?;
+        let n = r.len(self.tags.len())?;
+        if n != self.tags.len() {
+            return Err(SnapshotError::Corrupt("cache line count mismatch"));
+        }
+        for slot in self.tags.iter_mut() {
+            *slot = r.opt_u64()?;
+        }
+        self.stats.restore(r)
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use aurora_isa::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::addr::LineAddr;
 
 /// Counters for the MSHR file.
@@ -168,6 +170,52 @@ impl MshrFile {
     /// Resets statistics (keeps live entries).
     pub fn reset_stats(&mut self) {
         self.stats = MshrStats::default();
+    }
+}
+
+impl Snapshot for MshrStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.allocations);
+        w.put_u64(self.merges);
+        w.put_u64(self.full_stalls);
+        w.put_u32(self.peak_occupancy);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.allocations = r.u64()?;
+        self.merges = r.u64()?;
+        self.full_stalls = r.u64()?;
+        self.peak_occupancy = r.u32()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for MshrFile {
+    /// Live entries plus the `next_ready` acceleration value and counters;
+    /// capacity is configuration and acts as a restore cross-check.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(*b"MSHR");
+        w.put_len(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.line.0);
+            w.put_u64(e.ready_at);
+        }
+        w.put_u64(self.next_ready);
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section(*b"MSHR")?;
+        let n = r.len(self.capacity)?;
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(Entry {
+                line: LineAddr(r.u64()?),
+                ready_at: r.u64()?,
+            });
+        }
+        self.next_ready = r.u64()?;
+        self.stats.restore(r)
     }
 }
 

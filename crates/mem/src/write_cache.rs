@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use aurora_isa::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::addr::{Geometry, LineAddr};
 
 /// Words per write-cache line (8 words × 4 bytes = 32-byte lines, §2.3).
@@ -202,6 +204,53 @@ impl WriteCache {
         }
     }
 
+    /// [`WriteCache::store`] minus the outcome bookkeeping: no page
+    /// validation scan (the answer is MMU/bus traffic — timing state)
+    /// and no statistics, just the line occupancy, word masks and LRU
+    /// order evolving exactly as `store` would evolve them. Functional
+    /// warming uses this: the estimator only measures detailed windows,
+    /// so outcome reporting during fast-forward is pure overhead.
+    pub fn warm_store(&mut self, addr: u64, bytes: u32) {
+        self.clock += 1;
+        let line = self.geom.line(addr);
+        let mask = word_mask(addr, bytes);
+        let page = addr / PAGE_BYTES;
+        if let Some(existing) = self.lines.iter_mut().find(|l| l.line == line) {
+            existing.word_mask |= mask;
+            existing.last_used = self.clock;
+            return;
+        }
+        if self.lines.len() == self.capacity {
+            if let Some(i) = self
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_used)
+                .map(|(i, _)| i)
+            {
+                self.lines.remove(i);
+            }
+        }
+        self.lines.push(Line {
+            line,
+            page,
+            word_mask: mask,
+            last_used: self.clock,
+        });
+    }
+
+    /// Whether a load of `bytes` bytes at `addr` would hit — the
+    /// [`WriteCache::load_probe`] predicate with no statistics recorded.
+    /// Functional warming uses this to decide fills without polluting
+    /// the load counters.
+    pub fn load_covers(&self, addr: u64, bytes: u32) -> bool {
+        let line = self.geom.line(addr);
+        let mask = word_mask(addr, bytes);
+        self.lines
+            .iter()
+            .any(|l| l.line == line && l.word_mask & mask == mask)
+    }
+
     /// Probes a load of `bytes` bytes at `addr`; hits when every word it
     /// reads is valid in a resident line.
     pub fn load_probe(&mut self, addr: u64, bytes: u32) -> bool {
@@ -242,6 +291,60 @@ impl WriteCache {
     /// Resets statistics (keeps contents).
     pub fn reset_stats(&mut self) {
         self.stats = WriteCacheStats::default();
+    }
+}
+
+impl Snapshot for WriteCacheStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.store_accesses);
+        w.put_u64(self.store_hits);
+        w.put_u64(self.load_accesses);
+        w.put_u64(self.load_hits);
+        w.put_u64(self.store_transactions);
+        w.put_u64(self.validations);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.store_accesses = r.u64()?;
+        self.store_hits = r.u64()?;
+        self.load_accesses = r.u64()?;
+        self.load_hits = r.u64()?;
+        self.store_transactions = r.u64()?;
+        self.validations = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for WriteCache {
+    /// Capacity and geometry are configuration; the valid lines (with
+    /// their LRU stamps), the LRU clock and the counters are state.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section(*b"WCAC");
+        w.put_len(self.lines.len());
+        for line in &self.lines {
+            w.put_u64(line.line.0);
+            w.put_u64(line.page);
+            w.put_u8(line.word_mask);
+            w.put_u64(line.last_used);
+        }
+        w.put_u64(self.clock);
+        self.stats.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section(*b"WCAC")?;
+        let n = r.len(self.capacity)?;
+        self.lines.clear();
+        for _ in 0..n {
+            self.lines.push(Line {
+                line: LineAddr(r.u64()?),
+                page: r.u64()?,
+                word_mask: r.u8()?,
+                last_used: r.u64()?,
+            });
+        }
+        self.clock = r.u64()?;
+        self.stats.restore(r)
     }
 }
 

@@ -34,6 +34,27 @@ impl RngCore for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// Returns the raw xoshiro256++ state, for checkpointing.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+    ///
+    /// The all-zero state is a fixed point of xoshiro256++ and is remapped
+    /// the same way [`SeedableRng::from_seed`] remaps the all-zero seed, so
+    /// a round-tripped generator always continues the original stream.
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> SmallRng {
+        if s == [0; 4] {
+            return SmallRng::seed_from_u64(0);
+        }
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     type Seed = [u8; 32];
 
@@ -68,6 +89,16 @@ mod tests {
         ];
         for e in expected {
             assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let _ = a.next_u64();
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
