@@ -8,10 +8,22 @@ echo "== rustfmt =="
 cargo fmt --all -- --check
 
 echo "== aurora-lint (workspace invariant gate, docs/LINTS.md) =="
-# One invocation both gates the build and emits the SARIF artifact:
-# findings go to lint.sarif for code-scanning upload, the human summary
-# goes to stderr, and a non-zero exit fails CI.
-cargo run -q -p aurora-lint -- --format sarif > lint.sarif
+# One invocation gates the build, emits the SARIF artifact and records
+# the analyzer perf baseline: findings go to lint.sarif for
+# code-scanning upload, the human summary goes to stderr, and a
+# non-zero exit fails CI.
+mkdir -p target/ci
+cargo run -q -p aurora-lint -- --format sarif --bench target/ci/BENCH_lint.json > lint.sarif
+# The semantic rules (dataflow, concurrency, checkpoint drift) must be
+# in the shipped catalogue — a SARIF without them means the gate
+# silently lost coverage.
+for rule in L010 L011 L012 L013 L014; do
+    grep -q "\"id\": \"$rule\"" lint.sarif
+done
+grep -q '"rules": 15' target/ci/BENCH_lint.json
+
+echo "== aurora-lint --fix --dry-run (shipped tree needs no mechanical fixes) =="
+cargo run -q -p aurora-lint -- --fix --dry-run 2>&1 >/dev/null | grep -q "0 edit(s) planned"
 
 echo "== build (release) =="
 cargo build --release --workspace

@@ -171,6 +171,24 @@ fn main() {
     // summed per-thread busy time over wall time, measured by
     // run_matrix_timed on the best run.
     let threads = sweep_threads(cells);
+    // A pool smaller than the machine silently halves the headline
+    // speedup; on a multi-core host that is a sizing bug, not noise. A
+    // 1-core host (minimal CI) cannot distinguish sizing from hardware,
+    // so it only warns.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores > 1 {
+        assert_eq!(
+            threads,
+            cores.min(cells),
+            "pool_threads must match available cores (capped at grid cells): \
+             pool {threads}, cores {cores}, cells {cells}"
+        );
+    } else {
+        println!(
+            "warning: 1-core host — cannot verify pool sizing against hardware \
+             (pool of {threads})"
+        );
+    }
     let achieved = metrics.achieved_parallelism();
     let speedup = stream_s / replay_s;
     let stream_ips = streamed_instructions as f64 / stream_s;

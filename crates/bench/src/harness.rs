@@ -169,28 +169,7 @@ pub fn run_matrix_timed(
     let profile: Vec<(usize, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut done = 0usize;
-                    let mut busy = 0.0f64;
-                    loop {
-                        let cell = next.fetch_add(1, Ordering::Relaxed);
-                        if cell >= cells {
-                            return (done, busy);
-                        }
-                        // Workload-major order: consecutive cells replay the same
-                        // trace against different configs, so the block pool and
-                        // templates stay cache-hot instead of being streamed from
-                        // memory once per configuration row.
-                        let (wi, ci) = (cell / configs.len(), cell % configs.len());
-                        let t = Instant::now();
-                        let stats = replay_blocks(&configs[ci], &traces[wi]);
-                        busy += t.elapsed().as_secs_f64();
-                        done += 1;
-                        results[ci * workloads.len() + wi]
-                            .set(stats)
-                            .expect("cell simulated twice");
-                    }
-                })
+                scope.spawn(|| drain_worker(&next, configs, workloads.len(), &traces, &results))
             })
             .collect();
         handles
@@ -217,6 +196,41 @@ pub fn run_matrix_timed(
         );
     }
     (rows, metrics)
+}
+
+/// One work-stealing pool thread's share of the replay grid: claim cells
+/// off the shared counter until the grid is drained, returning the cell
+/// count and busy seconds this worker accumulated. Declared as the
+/// `[[pool]]` root in lint.toml — nothing reachable from here may block
+/// (L013), or the sweep serializes on whichever thread holds the lock.
+fn drain_worker(
+    next: &AtomicUsize,
+    configs: &[MachineConfig],
+    workloads_n: usize,
+    traces: &[Arc<BlockTrace>],
+    results: &[OnceLock<SimStats>],
+) -> (usize, f64) {
+    let cells = configs.len() * workloads_n;
+    let mut done = 0usize;
+    let mut busy = 0.0f64;
+    loop {
+        let cell = next.fetch_add(1, Ordering::Relaxed);
+        if cell >= cells {
+            return (done, busy);
+        }
+        // Workload-major order: consecutive cells replay the same
+        // trace against different configs, so the block pool and
+        // templates stay cache-hot instead of being streamed from
+        // memory once per configuration row.
+        let (wi, ci) = (cell / configs.len(), cell % configs.len());
+        let t = Instant::now();
+        let stats = replay_blocks(&configs[ci], &traces[wi]);
+        busy += t.elapsed().as_secs_f64();
+        done += 1;
+        results[ci * workloads_n + wi]
+            .set(stats)
+            .expect("cell simulated twice");
+    }
 }
 
 /// Runs a benchmark list against one config via [`run_matrix`] (captured

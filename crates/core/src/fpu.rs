@@ -203,6 +203,8 @@ impl Fpu {
         }
         #[cfg(feature = "fpu-trace")]
         if trace_enabled(data_at) {
+            // lint:allow(L013): compiled out unless the opt-in fpu-trace
+            // debugging feature is enabled — never present in a sweep build
             eprintln!("FPU load data={data_at} admit={admitted} rf={rf_write}");
         }
         self.ldq.push_back(rf_write);
@@ -277,7 +279,7 @@ impl Fpu {
 
         // Commit state updates.
         if t == self.last_issue_cycle {
-            self.issued_in_cycle += 1;
+            self.issued_in_cycle = self.issued_in_cycle.saturating_add(1);
             if self.issued_in_cycle > 1 {
                 self.stats.dual_issues += 1;
             }
@@ -322,6 +324,8 @@ impl Fpu {
         }
         #[cfg(feature = "fpu-trace")]
         if trace_enabled(now) {
+            // lint:allow(L013): compiled out unless the opt-in fpu-trace
+            // debugging feature is enabled — never present in a sweep build
             eprintln!(
                 "FPU {:?} now={now} arrive={arrive} src={src_ready} issue={t} done={completion} prevC={}",
                 op.kind, self.prev_completion

@@ -259,8 +259,8 @@ impl Histogram {
         if let Some(slot) = self.buckets.get_mut(bucket) {
             *slot += 1;
         }
-        self.count += 1;
-        self.sum += value;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -396,7 +396,7 @@ impl Observer {
         match kind {
             ObsEventKind::Stall { cause, cycles } => {
                 if let Some(slot) = self.stall_cycles.get_mut(cause.index()) {
-                    *slot += cycles;
+                    *slot = slot.saturating_add(cycles);
                 }
             }
             ObsEventKind::DcacheMiss { latency } => self.dmiss_latency.record(latency),

@@ -1941,10 +1941,20 @@ impl<'cfg> Simulator<'cfg> {
         self.warm_cycle_offset = r.u64()?;
         self.stats.restore(&mut r)?;
         r.finish()?;
+        self.reset_transient_diagnostics();
+        Ok(())
+    }
+
+    /// Clears the diagnostic state a checkpoint deliberately does not
+    /// carry (observer batch buffer, debug horizon probe). Named and
+    /// separate from [`Simulator::restore_checkpoint`] so the
+    /// checkpoint-drift cross-check (L014) sees the codec touch only
+    /// serialized fields — see the checkpoint codec checklist in
+    /// docs/LINTS.md.
+    fn reset_transient_diagnostics(&mut self) {
         self.obs_buf_len = 0;
         #[cfg(debug_assertions)]
         self.horizon_probe.set(None);
-        Ok(())
     }
 }
 
@@ -2091,8 +2101,11 @@ impl WarmDigest {
         let lo = self
             .events
             .partition_point(|e| (e.op_idx as usize) < range.start);
-        let hi = lo + self.events[lo..].partition_point(|e| (e.op_idx as usize) < range.end);
-        &self.events[lo..hi]
+        // `partition_point` bounds `lo` and `hi` by the slice length, but
+        // the panic-free forms keep the fetch hot path index-free.
+        let tail = self.events.get(lo..).unwrap_or_default();
+        let hi = tail.partition_point(|e| (e.op_idx as usize) < range.end);
+        tail.get(..hi).unwrap_or_default()
     }
 }
 

@@ -10,7 +10,9 @@
 
 /// A binary operator the rules care about. Everything else (shifts,
 /// bit-ops, logical ops) parses but is represented as `Other` so operand
-/// walks still recurse.
+/// walks still recurse. Ordered comparisons keep their direction so the
+/// range analysis can refine intervals from dominating guards; `==`/`!=`
+/// collapse to `Cmp`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
     Add,
@@ -18,6 +20,10 @@ pub enum BinOp {
     Mul,
     Div,
     Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
     Cmp,
     Other,
 }
@@ -64,8 +70,15 @@ pub struct Arm {
 
 #[derive(Debug, Clone)]
 pub enum Expr {
-    /// Literal (number, bool, or a stripped string/char).
+    /// Literal (bool, or a stripped string/char, or a numeric literal
+    /// whose value did not parse).
     Lit(u32),
+    /// An integer literal with its value (underscores and type suffixes
+    /// stripped), feeding the range analysis.
+    Num {
+        val: i128,
+        line: u32,
+    },
     /// `self` as a value.
     SelfVal(u32),
     /// A (possibly multi-segment) path used as a value: `x`,
@@ -99,8 +112,12 @@ pub enum Expr {
         index: Box<Expr>,
         line: u32,
     },
-    /// `&e`, `&mut e`, `*e`, `-e`, `!e`.
+    /// `&e`, `*e`, `-e`, `!e`.
     Unary(Box<Expr>),
+    /// `&mut e` — kept distinct from [`Expr::Unary`] because handing out
+    /// a mutable borrow of a field counts as a write for the
+    /// checkpoint-drift analysis (L014).
+    MutBorrow(Box<Expr>),
     Binary {
         op: BinOp,
         lhs: Box<Expr>,
@@ -192,6 +209,7 @@ impl Expr {
     pub fn line(&self) -> u32 {
         match self {
             Expr::Lit(l) | Expr::SelfVal(l) | Expr::Opaque(l) => *l,
+            Expr::Num { line, .. } => *line,
             Expr::Path { line, .. }
             | Expr::Field { line, .. }
             | Expr::Call { line, .. }
@@ -205,7 +223,7 @@ impl Expr {
             | Expr::StructLit { line, .. }
             | Expr::ArrayLit { line, .. }
             | Expr::Tuple { line, .. } => *line,
-            Expr::Unary(e) | Expr::Try(e) => e.line(),
+            Expr::Unary(e) | Expr::MutBorrow(e) | Expr::Try(e) => e.line(),
             Expr::Block(b) => b.first().map(stmt_line).unwrap_or(0),
             Expr::If { cond, .. } => cond.line(),
             Expr::Match { scrutinee, .. } => scrutinee.line(),

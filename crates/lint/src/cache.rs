@@ -19,7 +19,7 @@ use crate::facts::{Access, CallFact, Event, FnFacts};
 use crate::lexer::FieldDef;
 use crate::{FileAnalysis, Pragma};
 
-const MAGIC: &str = "aurora-lint-cache v2";
+const MAGIC: &str = "aurora-lint-cache v3";
 
 /// Identity of one file's content at analysis time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,17 +54,23 @@ impl Stamp {
 
 #[derive(Default)]
 pub struct Cache {
+    /// Configuration/rule-set key (see [`crate::cache_key`]): entries
+    /// recorded under a different key are invisible — editing lint.toml
+    /// or upgrading the rule set forces a full re-scan.
+    key: u64,
     entries: BTreeMap<String, (Stamp, FileAnalysis)>,
 }
 
 impl Cache {
-    /// Load a cache file; any error or format mismatch yields an empty
-    /// cache.
-    pub fn load(path: &Path) -> Cache {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            return Cache::default();
-        };
-        parse(&text).unwrap_or_default()
+    /// Load a cache file; any error, format mismatch, or key mismatch
+    /// yields an empty cache (rewritten under `key` on save).
+    pub fn load(path: &Path, key: u64) -> Cache {
+        let mut cache = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| parse(&text, key))
+            .unwrap_or_default();
+        cache.key = key;
+        cache
     }
 
     /// Return the cached analysis for `rel` if its stamp still matches:
@@ -142,6 +148,7 @@ fn dec(s: &str) -> String {
 fn render(cache: &Cache) -> String {
     let mut out = String::from(MAGIC);
     out.push('\n');
+    out.push_str(&format!("key {}\n", cache.key));
     for (rel, (stamp, a)) in &cache.entries {
         out.push_str(&format!("file {}\n", enc(rel)));
         out.push_str(&format!(
@@ -158,6 +165,9 @@ fn render(cache: &Cache) -> String {
                 u8::from(f.in_test),
                 enc(&f.ret)
             ));
+            for p in &f.params {
+                out.push_str(&format!("fp {}\n", enc(p)));
+            }
             for c in &f.calls {
                 match c {
                     CallFact::Free { name, line } => {
@@ -194,14 +204,49 @@ fn render(cache: &Cache) -> String {
                     Event::Cast { ty, line } => {
                         out.push_str(&format!("e c {} {line}\n", enc(ty)));
                     }
+                    Event::Arith { what, line } => {
+                        out.push_str(&format!("e r {} {line}\n", enc(what)));
+                    }
+                    Event::Lock { label, line } => {
+                        out.push_str(&format!("e l {} {line}\n", enc(label)));
+                    }
+                    Event::LockEdge {
+                        held,
+                        acquired,
+                        line,
+                    } => {
+                        out.push_str(&format!("e g {} {} {line}\n", enc(held), enc(acquired)));
+                    }
+                    Event::LockedCall { held, line } => {
+                        out.push_str(&format!("e d {} {line}\n", enc(held)));
+                    }
+                    Event::Atomic {
+                        label,
+                        op,
+                        ordering,
+                        in_spawn,
+                        line,
+                    } => {
+                        out.push_str(&format!(
+                            "e t {} {} {} {} {line}\n",
+                            enc(label),
+                            enc(op),
+                            enc(ordering),
+                            u8::from(*in_spawn)
+                        ));
+                    }
+                    Event::Blocking { what, line } => {
+                        out.push_str(&format!("e b {} {line}\n", enc(what)));
+                    }
                 }
             }
             for acc in &f.accesses {
                 out.push_str(&format!(
-                    "a {} {} {}\n",
+                    "a {} {} {} {}\n",
                     enc(&acc.chain),
                     enc(&acc.field),
-                    acc.line
+                    acc.line,
+                    u8::from(acc.write)
                 ));
             }
         }
@@ -240,12 +285,19 @@ fn render(cache: &Cache) -> String {
     out
 }
 
-fn parse(text: &str) -> Option<Cache> {
+fn parse(text: &str, key: u64) -> Option<Cache> {
     let mut lines = text.lines();
     if lines.next()? != MAGIC {
         return None;
     }
-    let mut cache = Cache::default();
+    let recorded: u64 = lines.next()?.strip_prefix("key ")?.parse().ok()?;
+    if recorded != key {
+        return None;
+    }
+    let mut cache = Cache {
+        key,
+        ..Cache::default()
+    };
     let mut rel: Option<String> = None;
     let mut stamp = Stamp {
         mtime_s: 0,
@@ -273,10 +325,12 @@ fn parse(text: &str) -> Option<Cache> {
                 end_line: toks.get(4)?.parse().ok()?,
                 in_test: *toks.get(5)? == "1",
                 ret: dec(toks.get(6)?),
+                params: Vec::new(),
                 calls: Vec::new(),
                 events: Vec::new(),
                 accesses: Vec::new(),
             }),
+            "fp" => a.facts.fns.last_mut()?.params.push(dec(toks.get(1)?)),
             "c" => {
                 let f = a.facts.fns.last_mut()?;
                 let call = match *toks.get(1)? {
@@ -330,6 +384,34 @@ fn parse(text: &str) -> Option<Cache> {
                         ty: dec(toks.get(2)?),
                         line: toks.get(3)?.parse().ok()?,
                     },
+                    "r" => Event::Arith {
+                        what: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "l" => Event::Lock {
+                        label: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "g" => Event::LockEdge {
+                        held: dec(toks.get(2)?),
+                        acquired: dec(toks.get(3)?),
+                        line: toks.get(4)?.parse().ok()?,
+                    },
+                    "d" => Event::LockedCall {
+                        held: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
+                    "t" => Event::Atomic {
+                        label: dec(toks.get(2)?),
+                        op: dec(toks.get(3)?),
+                        ordering: dec(toks.get(4)?),
+                        in_spawn: *toks.get(5)? == "1",
+                        line: toks.get(6)?.parse().ok()?,
+                    },
+                    "b" => Event::Blocking {
+                        what: dec(toks.get(2)?),
+                        line: toks.get(3)?.parse().ok()?,
+                    },
                     _ => return None,
                 };
                 f.events.push(ev);
@@ -340,6 +422,7 @@ fn parse(text: &str) -> Option<Cache> {
                     chain: dec(toks.get(1)?),
                     field: dec(toks.get(2)?),
                     line: toks.get(3)?.parse().ok()?,
+                    write: *toks.get(4)? == "1",
                 });
             }
             "s" => {
@@ -418,14 +501,44 @@ mod tests {
             size: 420,
             hash: 0xdead_beef_cafe_f00d,
         };
-        let mut cache = Cache::default();
+        let mut cache = Cache {
+            key: 7,
+            ..Cache::default()
+        };
         cache.insert("crates/x/src/lib.rs".to_string(), stamp.clone(), a.clone());
         let text = render(&cache);
-        let mut reloaded = parse(&text).expect("round-trip parse");
+        let mut reloaded = parse(&text, 7).expect("round-trip parse");
         let hit = reloaded
             .lookup("crates/x/src/lib.rs", &stamp)
             .expect("stamp should hit");
         assert_eq!(hit, a);
+    }
+
+    /// Flipping a config knob changes the cache key, so every cached
+    /// verdict is invalidated and the workspace re-scans.
+    #[test]
+    fn config_knob_flip_invalidates_the_whole_cache() {
+        let base = "[[hot]]\nfile = \"a.rs\"\nroots = [\"go\"]\n";
+        let flipped = "[[hot]]\nfile = \"a.rs\"\nroots = [\"go\", \"feed\"]\n";
+        let k1 = crate::cache_key(base);
+        let k2 = crate::cache_key(flipped);
+        assert_ne!(k1, k2);
+        let stamp = Stamp {
+            mtime_s: 1,
+            mtime_ns: 2,
+            size: 3,
+            hash: 4,
+        };
+        let mut cache = Cache {
+            key: k1,
+            ..Cache::default()
+        };
+        cache.insert("f.rs".to_string(), stamp.clone(), sample_analysis());
+        let text = render(&cache);
+        // Same key: the entry survives. Flipped knob: empty cache.
+        let mut same = parse(&text, k1).expect("same key parses");
+        assert!(same.lookup("f.rs", &stamp).is_some());
+        assert!(parse(&text, k2).is_none());
     }
 
     #[test]
@@ -474,8 +587,8 @@ mod tests {
 
     #[test]
     fn garbage_and_version_mismatch_yield_empty() {
-        assert!(parse("not a cache").is_none());
-        assert!(parse("aurora-lint-cache v1\nfile x\n").is_none());
+        assert!(parse("not a cache", 0).is_none());
+        assert!(parse("aurora-lint-cache v2\nkey 0\nfile x\n", 0).is_none());
     }
 
     #[test]

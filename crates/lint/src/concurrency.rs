@@ -1,0 +1,378 @@
+//! Concurrency rules: lock-order inversion (L011), suspicious atomic
+//! orderings (L012), and blocking calls in pool worker loops (L013).
+//!
+//! All three consume the lock/atomic/blocking events recorded by
+//! [`crate::facts`] plus the workspace [`Graph`]. The lock-order graph is
+//! built over *lock labels* (`Type.field` for self fields, `fn::local`
+//! for let-bound guards, `path::STATIC` for statics) rather than lock
+//! objects — two statics with the same name in different files alias,
+//! a documented imprecision that errs toward reporting.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::LintConfig;
+use crate::facts::Event;
+use crate::graph::{path_matches, FnId, Graph};
+use crate::{Finding, Workspace};
+
+pub fn run(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Finding>) {
+    lock_order(g, out);
+    atomic_orderings(g, out);
+    pool_blocking(ws, cfg, g, out);
+}
+
+fn finding(file: &str, line: u32, rule: &'static str, msg: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        msg,
+    }
+}
+
+fn non_test_fns(g: &Graph) -> Vec<FnId> {
+    let mut out = Vec::new();
+    for (fi, (_, facts)) in g.files.iter().enumerate() {
+        for (ki, f) in facts.fns.iter().enumerate() {
+            if !f.in_test {
+                out.push((fi, ki));
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------------- L011
+
+/// One directed lock-order edge: `held` was live while `acquired` was
+/// taken at `site`.
+struct LockSite {
+    file: String,
+    line: u32,
+    qual: String,
+}
+
+fn lock_order(g: &Graph, out: &mut Vec<Finding>) {
+    let fns = non_test_fns(g);
+    // Direct acquisitions per fn, for importing edges through calls.
+    let direct: HashMap<FnId, Vec<String>> = fns
+        .iter()
+        .map(|&id| {
+            let labels = g
+                .fn_facts(id)
+                .events
+                .iter()
+                .filter_map(|ev| match ev {
+                    Event::Lock { label, .. } => Some(label.clone()),
+                    _ => None,
+                })
+                .collect();
+            (id, labels)
+        })
+        .collect();
+    let mut closure_memo: HashMap<FnId, Vec<String>> = HashMap::new();
+    let mut edges: HashMap<(String, String), LockSite> = HashMap::new();
+    for &id in &fns {
+        let f = g.fn_facts(id);
+        let site = |line: u32| LockSite {
+            file: g.rel(id).to_string(),
+            line,
+            qual: f.qual_name(),
+        };
+        for ev in &f.events {
+            match ev {
+                Event::LockEdge {
+                    held,
+                    acquired,
+                    line,
+                } if held != acquired => {
+                    edges
+                        .entry((held.clone(), acquired.clone()))
+                        .or_insert_with(|| site(*line));
+                }
+                Event::LockedCall { held, line } => {
+                    // Import the transitive acquisition set of every call
+                    // resolved at this line as edges from `held`.
+                    for call in f.calls.iter().filter(|c| c.line() == *line) {
+                        for callee in g.resolve_call(call, id) {
+                            for label in transitive_locks(g, callee, &direct, &mut closure_memo) {
+                                if label != *held {
+                                    edges
+                                        .entry((held.clone(), label))
+                                        .or_insert_with(|| site(*line));
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Adjacency over labels.
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    // For each edge a -> b, a path b ~> a closes an inversion cycle.
+    let mut keys: Vec<&(String, String)> = edges.keys().collect();
+    keys.sort();
+    let mut reported: HashSet<Vec<String>> = HashSet::new();
+    for (a, b) in keys {
+        let Some(path) = label_path(&adj, b, a) else {
+            continue;
+        };
+        // Full cycle: a -> b -> ... -> a.
+        let mut cycle = vec![a.clone()];
+        cycle.extend(path.iter().map(|s| s.to_string()));
+        let mut canon: Vec<String> = cycle.clone();
+        canon.sort();
+        canon.dedup();
+        if !reported.insert(canon) {
+            continue;
+        }
+        let mut msg = format!("lock-order inversion: {}", cycle.join(" -> "));
+        for pair in cycle.windows(2) {
+            if let Some(s) = edges.get(&(pair[0].clone(), pair[1].clone())) {
+                msg.push_str(&format!(
+                    "; `{}` held while acquiring `{}` in `{}` ({}:{})",
+                    pair[0], pair[1], s.qual, s.file, s.line
+                ));
+            }
+        }
+        msg.push_str(" — pick one global order and acquire both locks in it everywhere");
+        let s = &edges[&(a.clone(), b.clone())];
+        out.push(finding(&s.file, s.line, "L011", msg));
+    }
+}
+
+/// Every lock label acquired by `id` or anything it transitively calls.
+fn transitive_locks(
+    g: &Graph,
+    id: FnId,
+    direct: &HashMap<FnId, Vec<String>>,
+    memo: &mut HashMap<FnId, Vec<String>>,
+) -> Vec<String> {
+    if let Some(hit) = memo.get(&id) {
+        return hit.clone();
+    }
+    let mut seen = HashSet::new();
+    let mut labels = Vec::new();
+    let mut queue = vec![id];
+    seen.insert(id);
+    while let Some(cur) = queue.pop() {
+        for l in direct.get(&cur).into_iter().flatten() {
+            if !labels.contains(l) {
+                labels.push(l.clone());
+            }
+        }
+        for next in g.callees(cur) {
+            if seen.insert(next) {
+                queue.push(next);
+            }
+        }
+    }
+    labels.sort();
+    memo.insert(id, labels.clone());
+    labels
+}
+
+/// BFS over the label digraph; returns the node path `from ~> to`
+/// (inclusive of both endpoints) if one exists.
+fn label_path<'g>(
+    adj: &HashMap<&'g str, Vec<&'g str>>,
+    from: &'g str,
+    to: &str,
+) -> Option<Vec<&'g str>> {
+    let mut parent: HashMap<&str, &str> = HashMap::new();
+    let mut queue = vec![from];
+    parent.insert(from, from);
+    let mut qi = 0;
+    while qi < queue.len() {
+        let cur = queue[qi];
+        qi += 1;
+        if cur == to {
+            let mut path = vec![cur];
+            let mut walk = cur;
+            while parent[walk] != walk {
+                walk = parent[walk];
+                path.push(walk);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in adj.get(cur).into_iter().flatten() {
+            if !parent.contains_key(next) {
+                parent.insert(next, cur);
+                queue.push(next);
+            }
+        }
+    }
+    None
+}
+
+// ------------------------------------------------------------------- L012
+
+struct AtomicUse {
+    op: String,
+    ordering: String,
+    in_spawn: bool,
+    file: String,
+    line: u32,
+    qual: String,
+}
+
+fn atomic_orderings(g: &Graph, out: &mut Vec<Finding>) {
+    let mut by_label: HashMap<String, Vec<AtomicUse>> = HashMap::new();
+    for id in non_test_fns(g) {
+        let f = g.fn_facts(id);
+        for ev in &f.events {
+            if let Event::Atomic {
+                label,
+                op,
+                ordering,
+                in_spawn,
+                line,
+            } = ev
+            {
+                by_label.entry(label.clone()).or_default().push(AtomicUse {
+                    op: op.clone(),
+                    ordering: ordering.clone(),
+                    in_spawn: *in_spawn,
+                    file: g.rel(id).to_string(),
+                    line: *line,
+                    qual: f.qual_name(),
+                });
+            }
+        }
+    }
+    let mut labels: Vec<&String> = by_label.keys().collect();
+    labels.sort();
+    for label in labels {
+        let uses = &by_label[label];
+        let stores: Vec<&AtomicUse> = uses.iter().filter(|u| u.op == "store").collect();
+        let loads: Vec<&AtomicUse> = uses.iter().filter(|u| u.op == "load").collect();
+        // RMW-only targets (fetch_add counters, compare_exchange state
+        // machines) carry their ordering on the RMW itself — never flagged.
+        if stores.is_empty() {
+            continue;
+        }
+        let strong_store = stores
+            .iter()
+            .find(|u| u.ordering == "Release" || u.ordering == "SeqCst");
+        let relaxed_load = loads.iter().find(|u| u.ordering == "Relaxed");
+        let relaxed_store = stores.iter().find(|u| u.ordering == "Relaxed");
+        let strong_load = loads
+            .iter()
+            .find(|u| u.ordering == "Acquire" || u.ordering == "SeqCst");
+        if let (Some(s), Some(l)) = (strong_store, relaxed_load) {
+            out.push(finding(
+                &l.file,
+                l.line,
+                "L012",
+                format!(
+                    "atomic `{label}` is stored with {} in `{}` ({}:{}) but loaded with Relaxed \
+                     in `{}` — the Relaxed load does not synchronize-with the store, so writes \
+                     published before it may not be visible; load with Acquire",
+                    s.ordering, s.qual, s.file, s.line, l.qual
+                ),
+            ));
+        } else if let (Some(s), Some(l)) = (relaxed_store, strong_load) {
+            out.push(finding(
+                &s.file,
+                s.line,
+                "L012",
+                format!(
+                    "atomic `{label}` is loaded with {} in `{}` ({}:{}) but stored with Relaxed \
+                     in `{}` — an Acquire load only synchronizes with a Release store; store \
+                     with Release",
+                    l.ordering, l.qual, l.file, l.line, s.qual
+                ),
+            ));
+        } else if stores.iter().all(|u| u.ordering == "Relaxed")
+            && !loads.is_empty()
+            && loads.iter().all(|u| u.ordering == "Relaxed")
+            && uses.iter().any(|u| u.in_spawn)
+            && uses.iter().any(|u| !u.in_spawn)
+        {
+            let s = stores[0];
+            out.push(finding(
+                &s.file,
+                s.line,
+                "L012",
+                format!(
+                    "atomic `{label}` crosses a spawn boundary with Relaxed on every store and \
+                     load — if it guards non-atomic data, readers can observe the flag without \
+                     the data; use Release on the store and Acquire on the load (a pure counter \
+                     should use `fetch_add`, which L012 never flags)"
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------- L013
+
+fn pool_blocking(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Finding>) {
+    let mut roots = Vec::new();
+    for pool in &cfg.pool {
+        if !ws
+            .files
+            .iter()
+            .any(|(rel, _)| path_matches(rel, &pool.file))
+        {
+            out.push(finding(
+                &pool.file,
+                0,
+                "L013",
+                "pool file declared in lint.toml was not found in the workspace".to_string(),
+            ));
+            continue;
+        }
+        for root in &pool.roots {
+            let ids = g.find_root(&pool.file, root);
+            if ids.is_empty() {
+                out.push(finding(
+                    &pool.file,
+                    0,
+                    "L013",
+                    format!(
+                        "pool root `{root}` declared in lint.toml does not exist in this file — \
+                         update lint.toml"
+                    ),
+                ));
+            }
+            roots.extend(ids);
+        }
+    }
+    if roots.is_empty() {
+        return;
+    }
+    let parent = g.reach(&roots);
+    let mut ids: Vec<FnId> = parent.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let f = g.fn_facts(id);
+        let chain = g.chain_to(&parent, id);
+        let prov = if chain.len() <= 1 {
+            "declared pool root".to_string()
+        } else {
+            format!("in pool loop via {}", chain.join(" -> "))
+        };
+        for ev in &f.events {
+            if let Event::Blocking { what, line } = ev {
+                out.push(finding(
+                    g.rel(id),
+                    *line,
+                    "L013",
+                    format!(
+                        "`{what}` can block inside `{}` ({prov}) — a stalled worker idles its \
+                         core for the whole sweep; hoist the call out of the drain loop or \
+                         hand it to a dedicated thread",
+                        f.qual_name()
+                    ),
+                ));
+            }
+        }
+    }
+}

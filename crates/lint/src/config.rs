@@ -72,10 +72,31 @@ pub struct TraceFormat {
     pub record: String,
 }
 
+/// `[checkpoint]` — the writer/reader types whose appearance in a
+/// `save`/`restore` signature marks a Snapshot codec pair (L014).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    pub writer: String,
+    pub reader: String,
+}
+
+impl Default for Checkpoint {
+    fn default() -> Checkpoint {
+        Checkpoint {
+            writer: "SnapshotWriter".to_string(),
+            reader: "SnapshotReader".to_string(),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 pub struct LintConfig {
     pub exclude: Vec<String>,
     pub hot: Vec<HotFile>,
+    /// `[[pool]]` entries: worker-loop roots whose reachable set must stay
+    /// free of blocking calls (L013). Same shape as `[[hot]]`.
+    pub pool: Vec<HotFile>,
+    pub checkpoint: Checkpoint,
     pub stats: StatsScope,
     pub config_coverage: ConfigCoverage,
     pub trace_format: TraceFormat,
@@ -116,6 +137,8 @@ impl LintConfig {
                 section = name.to_string();
                 if section == "hot" {
                     cfg.hot.push(HotFile::default());
+                } else if section == "pool" {
+                    cfg.pool.push(HotFile::default());
                 }
                 continue;
             }
@@ -195,6 +218,22 @@ impl LintConfig {
                      and delete the exhaustive function list — see docs/LINTS.md",
                 ))
             }
+            ("pool", "file") => {
+                let entry = self
+                    .pool
+                    .last_mut()
+                    .ok_or_else(|| err("no [[pool]] entry open"))?;
+                entry.file = want_str(&value)?;
+            }
+            ("pool", "roots") => {
+                let entry = self
+                    .pool
+                    .last_mut()
+                    .ok_or_else(|| err("no [[pool]] entry open"))?;
+                entry.roots = want_list(&value)?;
+            }
+            ("checkpoint", "writer") => self.checkpoint.writer = want_str(&value)?,
+            ("checkpoint", "reader") => self.checkpoint.reader = want_str(&value)?,
             ("stats", "file") => self.stats.file = want_str(&value)?,
             ("stats", "structs") => self.stats.structs = want_list(&value)?,
             ("stats", "read_scope") => self.stats.read_scope = want_list(&value)?,
@@ -362,6 +401,14 @@ roots = [
 file = "crates/mem/src/mshr.rs"
 roots = ["MshrFile::probe"]
 
+[[pool]]
+file = "crates/bench/src/harness.rs"
+roots = ["drain_worker"]
+
+[checkpoint]
+writer = "SnapshotWriter"
+reader = "SnapshotReader"
+
 [stats]
 file = "crates/core/src/stats.rs"
 structs = ["SimStats"]
@@ -393,6 +440,10 @@ files = ["crates/core"]
         assert_eq!(cfg.hot.len(), 2);
         assert_eq!(cfg.hot[0].roots, vec!["Simulator::feed", "advance_to"]);
         assert_eq!(cfg.hot[1].file, "crates/mem/src/mshr.rs");
+        assert_eq!(cfg.pool.len(), 1);
+        assert_eq!(cfg.pool[0].roots, vec!["drain_worker"]);
+        assert_eq!(cfg.checkpoint.writer, "SnapshotWriter");
+        assert_eq!(cfg.checkpoint.reader, "SnapshotReader");
         assert_eq!(cfg.stats.structs, vec!["SimStats"]);
         assert_eq!(cfg.config_coverage.struct_name, "MachineConfig");
         assert_eq!(cfg.trace_format.record, "crates/isa/trace_format.fp");

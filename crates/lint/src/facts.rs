@@ -50,6 +50,61 @@ const ITER_METHODS: &[&str] = &[
     "retain",
 ];
 
+/// Methods that only read their receiver: calling one on `self.field`
+/// does not count as a write for the checkpoint-drift analysis (L014).
+const READONLY_RECV_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "capacity",
+    "iter",
+    "get",
+    "contains",
+    "contains_key",
+    "clone",
+    "as_ref",
+    "as_deref",
+    "as_slice",
+    "first",
+    "last",
+    "peek",
+    "front",
+    "back",
+    "is_some",
+    "is_none",
+    "binary_search",
+    "to_vec",
+    "starts_with",
+    "ends_with",
+];
+
+/// Atomic operations whose `Ordering` argument L012 inspects. The
+/// read-modify-write ops are recorded but never flagged on their own:
+/// a `Relaxed` `fetch_add` counter is the idiomatic work-stealing shape.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Free-function names that imply filesystem traffic (L013).
+const BLOCKING_FREE_FNS: &[&str] = &[
+    "read_to_string",
+    "read_dir",
+    "create_dir_all",
+    "remove_file",
+    "canonicalize",
+];
+
+/// Macros that write to stdio, a shared lock (L013).
+const BLOCKING_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
 /// A call site recorded for graph construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CallFact {
@@ -101,6 +156,32 @@ pub enum Event {
     UnitMix { cyc: String, cnt: String, line: u32 },
     /// L006 candidate: `as` cast.
     Cast { ty: String, line: u32 },
+    /// L010 candidate: unchecked `+`/`-`/`*` on a cycle/count-unit
+    /// operand the range analysis could not prove safe.
+    Arith { what: String, line: u32 },
+    /// L011/L013: a `.lock()` acquisition of the named lock.
+    Lock { label: String, line: u32 },
+    /// L011: `acquired` was locked while `held`'s guard was live.
+    LockEdge {
+        held: String,
+        acquired: String,
+        line: u32,
+    },
+    /// L011: a call made while `held`'s guard was live; the graph phase
+    /// resolves the call at this line and imports the callee's
+    /// transitive acquisitions as lock-order edges.
+    LockedCall { held: String, line: u32 },
+    /// L012: an atomic operation with its `Ordering` argument.
+    Atomic {
+        label: String,
+        op: String,
+        ordering: String,
+        in_spawn: bool,
+        line: u32,
+    },
+    /// L013 candidate: a call that can block (file I/O, `Mutex::lock`,
+    /// stdio macros).
+    Blocking { what: String, line: u32 },
 }
 
 impl Event {
@@ -112,17 +193,28 @@ impl Event {
             | Event::Nondet { line, .. }
             | Event::HashIter { line, .. }
             | Event::UnitMix { line, .. }
-            | Event::Cast { line, .. } => *line,
+            | Event::Cast { line, .. }
+            | Event::Arith { line, .. }
+            | Event::Lock { line, .. }
+            | Event::LockEdge { line, .. }
+            | Event::LockedCall { line, .. }
+            | Event::Atomic { line, .. }
+            | Event::Blocking { line, .. } => *line,
         }
     }
 }
 
-/// A field access with the receiver's chain (L004 knob coverage).
+/// A field access with the receiver's chain (L004 knob coverage, L014
+/// checkpoint drift).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Access {
     pub chain: String,
     pub field: String,
     pub line: u32,
+    /// True when the access writes: an assignment target (including
+    /// bases of assigned sub-fields/elements), an `&mut` borrow, or the
+    /// receiver of a non-read-only method.
+    pub write: bool,
 }
 
 /// Facts for one function.
@@ -136,6 +228,9 @@ pub struct FnFacts {
     pub in_test: bool,
     /// Normalized return type ("" for unit).
     pub ret: String,
+    /// Parameter types in declaration order ("" for `self`), so rules
+    /// can detect participation in a protocol by signature (L014).
+    pub params: Vec<String>,
     pub calls: Vec<CallFact>,
     pub events: Vec<Event>,
     pub accesses: Vec<Access>,
@@ -180,6 +275,8 @@ pub fn extract(
         let mut ex = Extractor {
             file_fns: parsed,
             env: Vec::new(),
+            locks: Vec::new(),
+            spawn_depth: 0,
             out: FnFacts {
                 name: f.name.clone(),
                 self_ty: f.self_ty.clone().unwrap_or_default(),
@@ -187,6 +284,7 @@ pub fn extract(
                 end_line: f.end_line,
                 in_test: f.in_test,
                 ret: f.ret.clone(),
+                params: f.params.iter().map(|p| p.ty.clone()).collect(),
                 ..FnFacts::default()
             },
             reads: &mut reads,
@@ -198,6 +296,9 @@ pub fn extract(
             }
         }
         ex.visit_block(&f.body);
+        for (what, line) in crate::dataflow::arith_risks(f) {
+            ex.out.events.push(Event::Arith { what, line });
+        }
         file.fns.push(ex.out);
     }
     reads.sort();
@@ -220,6 +321,12 @@ struct Extractor<'a> {
     file_fns: &'a [PFn],
     /// Lexically-scoped `name -> chain` bindings.
     env: Vec<(String, String)>,
+    /// Lock labels whose guards are live in the current scope: a
+    /// `let`-bound `.lock()` holds until its block ends (explicit
+    /// `drop(guard)` is not modelled — a documented imprecision).
+    locks: Vec<String>,
+    /// > 0 while visiting the body of a closure passed to `spawn`.
+    spawn_depth: u32,
     out: FnFacts,
     reads: &'a mut Vec<String>,
 }
@@ -235,10 +342,12 @@ impl<'a> Extractor<'a> {
 
     fn visit_block(&mut self, b: &Block) {
         let mark = self.env.len();
+        let lock_mark = self.locks.len();
         for s in b {
             self.visit_stmt(s);
         }
         self.env.truncate(mark);
+        self.locks.truncate(lock_mark);
     }
 
     fn visit_stmt(&mut self, s: &Stmt) {
@@ -251,6 +360,10 @@ impl<'a> Extractor<'a> {
     fn visit_let(&mut self, l: &LetStmt) {
         if let Some(init) = &l.init {
             self.visit_expr(init, false);
+            // A let-bound guard keeps its lock held until block end.
+            if let Some(label) = self.find_lock_label(init) {
+                self.locks.push(label);
+            }
         }
         if let Some(else_b) = &l.else_block {
             self.visit_block(else_b);
@@ -290,7 +403,7 @@ impl<'a> Extractor<'a> {
 
     fn visit_expr(&mut self, e: &Expr, assign_target: bool) {
         match e {
-            Expr::Lit(_) | Expr::SelfVal(_) | Expr::Opaque(_) => {}
+            Expr::Lit(_) | Expr::Num { .. } | Expr::SelfVal(_) | Expr::Opaque(_) => {}
             Expr::Path { segs, line } => {
                 if let Some(t) = segs.iter().find(|s| ALLOC_TYPES.contains(&s.as_str())) {
                     self.out.events.push(Event::Alloc {
@@ -309,11 +422,14 @@ impl<'a> Extractor<'a> {
                 }
             }
             Expr::Field { base, name, line } => {
-                self.visit_expr(base, false);
+                // Assignment context propagates into the base: writing
+                // `self.a.b` writes (into) field `a` as well.
+                self.visit_expr(base, assign_target);
                 self.out.accesses.push(Access {
                     chain: self.chain_of(base),
                     field: name.clone(),
                     line: *line,
+                    write: assign_target,
                 });
                 if !assign_target {
                     self.reads.push(name.clone());
@@ -322,7 +438,14 @@ impl<'a> Extractor<'a> {
             Expr::Call { callee, args, line } => {
                 self.visit_expr(callee, false);
                 self.record_call(callee, *line);
+                let spawning = callee_name(callee) == Some("spawn");
+                if spawning {
+                    self.spawn_depth += 1;
+                }
                 self.visit_args(callee_name(callee), args);
+                if spawning {
+                    self.spawn_depth -= 1;
+                }
                 let _ = line;
             }
             Expr::MethodCall {
@@ -356,10 +479,63 @@ impl<'a> Extractor<'a> {
                     name: name.clone(),
                     line: *line,
                 });
+                // A non-read-only method on a `self` field is a write
+                // for the checkpoint-drift analysis (`self.iq.clear()`).
+                if !READONLY_RECV_METHODS.contains(&name.as_str()) {
+                    if let Expr::Field {
+                        base, name: field, ..
+                    } = recv.as_ref()
+                    {
+                        self.out.accesses.push(Access {
+                            chain: self.chain_of(base),
+                            field: field.clone(),
+                            line: *line,
+                            write: true,
+                        });
+                    }
+                }
+                if name == "lock" {
+                    let label = self.lock_label(recv);
+                    for held in self.locks.clone() {
+                        self.out.events.push(Event::LockEdge {
+                            held,
+                            acquired: label.clone(),
+                            line: *line,
+                        });
+                    }
+                    self.out.events.push(Event::Lock { label, line: *line });
+                    self.out.events.push(Event::Blocking {
+                        what: "Mutex::lock".to_string(),
+                        line: *line,
+                    });
+                }
+                if ATOMIC_OPS.contains(&name.as_str()) {
+                    if let Some(ordering) = args.iter().find_map(ordering_of) {
+                        self.out.events.push(Event::Atomic {
+                            label: self.lock_label(recv),
+                            op: name.clone(),
+                            ordering,
+                            in_spawn: self.spawn_depth > 0,
+                            line: *line,
+                        });
+                    }
+                }
+                for held in self.locks.clone() {
+                    self.out
+                        .events
+                        .push(Event::LockedCall { held, line: *line });
+                }
+                let spawning = name == "spawn";
+                if spawning {
+                    self.spawn_depth += 1;
+                }
                 self.visit_args(Some(name.as_str()), args);
+                if spawning {
+                    self.spawn_depth -= 1;
+                }
             }
             Expr::Index { base, index, line } => {
-                self.visit_expr(base, false);
+                self.visit_expr(base, assign_target);
                 self.visit_expr(index, false);
                 self.out.events.push(Event::IndexOp {
                     chain: self.chain_of(base),
@@ -367,6 +543,7 @@ impl<'a> Extractor<'a> {
                 });
             }
             Expr::Unary(inner) => self.visit_expr(inner, assign_target),
+            Expr::MutBorrow(inner) => self.visit_expr(inner, true),
             Expr::Binary { op, lhs, rhs, line } => {
                 self.visit_expr(lhs, false);
                 self.visit_expr(rhs, false);
@@ -407,6 +584,12 @@ impl<'a> Extractor<'a> {
                 if ALLOC_MACROS.contains(&name.as_str()) {
                     self.out.events.push(Event::Alloc {
                         what: format!("{name}!"),
+                        line: *line,
+                    });
+                }
+                if BLOCKING_MACROS.contains(&name.as_str()) {
+                    self.out.events.push(Event::Blocking {
+                        what: format!("{name}! (stdio lock)"),
                         line: *line,
                     });
                 }
@@ -453,6 +636,8 @@ impl<'a> Extractor<'a> {
                             chain: format!("t:{}", esc(head)),
                             field: fname.clone(),
                             line: *line,
+                            // Construction initializes the field.
+                            write: true,
                         });
                     }
                 }
@@ -553,6 +738,12 @@ impl<'a> Extractor<'a> {
     /// Record the call edge for a `Call` node.
     fn record_call(&mut self, callee: &Expr, line: u32) {
         if let Expr::Path { segs, .. } = callee {
+            for held in self.locks.clone() {
+                self.out.events.push(Event::LockedCall { held, line });
+            }
+            if let Some(what) = blocking_call(segs) {
+                self.out.events.push(Event::Blocking { what, line });
+            }
             match segs.as_slice() {
                 [single] => {
                     // A local variable holding a closure is not a named
@@ -650,6 +841,59 @@ impl<'a> Extractor<'a> {
         }
     }
 
+    /// Search an initializer for a `.lock()` call; its receiver's label
+    /// names the guard the enclosing `let` keeps alive.
+    fn find_lock_label(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::MethodCall { recv, name, .. } => {
+                if name == "lock" {
+                    Some(self.lock_label(recv))
+                } else {
+                    self.find_lock_label(recv)
+                }
+            }
+            Expr::Unary(inner) | Expr::MutBorrow(inner) | Expr::Try(inner) => {
+                self.find_lock_label(inner)
+            }
+            Expr::Block(b) => b.iter().rev().find_map(|s| match s {
+                Stmt::Expr(e) => self.find_lock_label(e),
+                Stmt::Let(_) => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// A workspace-stable name for a lock or atomic: `Type.field` for
+    /// `self` fields, the static's path for globals, and a
+    /// function-qualified name for locals (which never alias across
+    /// functions anyway).
+    fn lock_label(&self, e: &Expr) -> String {
+        match e {
+            Expr::SelfVal(_) => {
+                if self.out.self_ty.is_empty() {
+                    "self".to_string()
+                } else {
+                    self.out.self_ty.clone()
+                }
+            }
+            Expr::Field { base, name, .. } => format!("{}.{}", self.lock_label(base), name),
+            Expr::Path { segs, .. } => match segs.as_slice() {
+                [single] if !starts_upper(single) => match self.lookup(single) {
+                    // A typed param/binding: label by its chain so two
+                    // functions locking the same field agree.
+                    Some(chain) if chain != "?" => chain_label(chain),
+                    _ => format!("{}::{}", self.out.qual_name(), single),
+                },
+                _ => segs.join("::"),
+            },
+            Expr::Unary(inner) | Expr::MutBorrow(inner) | Expr::Try(inner) => {
+                self.lock_label(inner)
+            }
+            Expr::Index { base, .. } => format!("{}[]", self.lock_label(base)),
+            _ => format!("{}::<anon>", self.out.qual_name()),
+        }
+    }
+
     /// Compute the chain descriptor for an expression used as a receiver.
     fn chain_of(&self, e: &Expr) -> String {
         match e {
@@ -683,7 +927,7 @@ impl<'a> Extractor<'a> {
                 _ => "?".to_string(),
             },
             Expr::Index { base, .. } => seg(self.chain_of(base), "idx"),
-            Expr::Unary(inner) => self.chain_of(inner),
+            Expr::Unary(inner) | Expr::MutBorrow(inner) => self.chain_of(inner),
             Expr::Try(inner) => seg(self.chain_of(inner), "some"),
             Expr::Cast { ty, .. } => format!("t:{}", esc(ty)),
             Expr::StructLit { path, .. } => path
@@ -700,6 +944,61 @@ fn seg(base: String, s: &str) -> String {
         base
     } else {
         format!("{base}.{s}")
+    }
+}
+
+/// Flatten a chain descriptor into a lock label: `t:&~TraceStore.f:cells`
+/// becomes `TraceStore.cells`.
+fn chain_label(chain: &str) -> String {
+    chain
+        .split('.')
+        .map(|part| {
+            let part = part
+                .strip_prefix("f:")
+                .or_else(|| part.strip_prefix("m:"))
+                .or_else(|| part.strip_prefix("t:"))
+                .or_else(|| part.strip_prefix("fn:"))
+                .unwrap_or(part);
+            unesc(part)
+                .trim_start_matches(['&', ' '])
+                .trim_start_matches("mut ")
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// The `Ordering` argument of an atomic op, if this expression is one.
+fn ordering_of(e: &Expr) -> Option<String> {
+    const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    if let Expr::Path { segs, .. } = e {
+        let last = segs.last()?;
+        if ORDERINGS.contains(&last.as_str())
+            && (segs.len() == 1 || segs.iter().any(|s| s == "Ordering"))
+        {
+            return Some(last.clone());
+        }
+    }
+    None
+}
+
+/// A blocking filesystem/stdio call, by path (L013).
+fn blocking_call(segs: &[String]) -> Option<String> {
+    match segs {
+        [.., ty, name]
+            if (ty == "File" && (name == "open" || name == "create"))
+                || (ty == "OpenOptions" && name == "new") =>
+        {
+            Some(format!("{ty}::{name} (file I/O)"))
+        }
+        [.., fs, name] if fs == "fs" => Some(format!("fs::{name} (file I/O)")),
+        [.., io, name] if io == "io" && (name == "stdin" || name == "stdout") => {
+            Some(format!("io::{name} (stdio)"))
+        }
+        [.., name] if BLOCKING_FREE_FNS.contains(&name.as_str()) => {
+            Some(format!("{name} (file I/O)"))
+        }
+        _ => None,
     }
 }
 
@@ -776,12 +1075,12 @@ pub fn fn_trait_args(ty: &str) -> Vec<String> {
 }
 
 #[derive(PartialEq)]
-enum UnitClass {
+pub(crate) enum UnitClass {
     Cycle,
     Count,
 }
 
-fn unit_of(name: &str) -> Option<UnitClass> {
+pub(crate) fn unit_of(name: &str) -> Option<UnitClass> {
     if name == "cycle" || name == "cycles" || name.ends_with("_cycle") || name.ends_with("_cycles")
     {
         return Some(UnitClass::Cycle);
@@ -797,7 +1096,7 @@ fn unit_of(name: &str) -> Option<UnitClass> {
 fn classify_unit(e: &Expr) -> Option<(UnitClass, String)> {
     match e {
         Expr::Cast { .. } => None,
-        Expr::Unary(inner) | Expr::Try(inner) => classify_unit(inner),
+        Expr::Unary(inner) | Expr::MutBorrow(inner) | Expr::Try(inner) => classify_unit(inner),
         Expr::Field { name, .. } => unit_of(name).map(|u| (u, format!(".{name}"))),
         Expr::Path { segs, .. } => {
             let last = segs.last()?;

@@ -1,0 +1,262 @@
+//! `--fix`: mechanical rewrites for the pragma-hygiene rules.
+//!
+//! Only findings whose fix is purely syntactic are handled — L009 stale
+//! pragmas (drop the dead rule id, or the whole pragma when none remain)
+//! and the recoverable shapes of L000 malformed pragmas (missing `:`
+//! before a reason, lowercase/unpadded rule ids). A malformed pragma with
+//! no reason at all cannot be repaired — no tool can invent the
+//! justification — so it is deleted; the underlying finding then
+//! resurfaces un-suppressed, which is the honest state.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::Finding;
+
+/// One planned line rewrite; `new: None` deletes the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineEdit {
+    pub file: String,
+    pub line: u32,
+    pub old: String,
+    pub new: Option<String>,
+}
+
+/// Plan fixes for the fixable findings (L000/L009). Non-mechanical rules
+/// are ignored. Reads each affected file once.
+pub fn plan(root: &Path, findings: &[Finding]) -> Result<Vec<LineEdit>, String> {
+    // (file, line) -> (stale ids to drop, saw a malformed pragma).
+    let mut sites: BTreeMap<(String, u32), (Vec<String>, bool)> = BTreeMap::new();
+    for f in findings {
+        match f.rule {
+            "L009" => {
+                if let Some(id) = stale_id(&f.msg) {
+                    sites
+                        .entry((f.file.clone(), f.line))
+                        .or_default()
+                        .0
+                        .push(id);
+                }
+            }
+            "L000" => sites.entry((f.file.clone(), f.line)).or_default().1 = true,
+            _ => {}
+        }
+    }
+    let mut edits = Vec::new();
+    let mut cache: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for ((file, line), (stale, malformed)) in sites {
+        if !cache.contains_key(&file) {
+            let path = root.join(&file);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            cache.insert(file.clone(), text.lines().map(str::to_string).collect());
+        }
+        let lines = &cache[&file];
+        let Some(old) = lines.get(line as usize - 1) else {
+            continue;
+        };
+        if let Some(new) = fix_line(old, &stale, malformed) {
+            edits.push(LineEdit {
+                file,
+                line,
+                old: old.clone(),
+                new,
+            });
+        }
+    }
+    Ok(edits)
+}
+
+/// The rule id an L009 message says is stale: the text inside
+/// `lint:allow(...)` in the diagnostic.
+fn stale_id(msg: &str) -> Option<String> {
+    let at = msg.find("lint:allow(")?;
+    let rest = &msg[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    Some(rest[..close].to_string())
+}
+
+/// Rewrite one source line carrying a pragma. Returns `None` when the
+/// line needs no change, `Some(None)` to delete it, `Some(Some(new))` to
+/// replace it.
+fn fix_line(text: &str, stale: &[String], malformed: bool) -> Option<Option<String>> {
+    let at = text.find("lint:allow")?;
+    let comment_start = text[..at].rfind("//")?;
+    let prefix = &text[..comment_start];
+    let pragma = &text[at + "lint:allow".len()..];
+    let drop_comment = || {
+        if prefix.trim().is_empty() {
+            Some(None)
+        } else {
+            Some(Some(prefix.trim_end().to_string()))
+        }
+    };
+    // Parse `(ids) [:] reason`.
+    let Some(rest) = pragma.trim_start().strip_prefix('(') else {
+        return drop_comment();
+    };
+    let Some(close) = rest.find(')') else {
+        return drop_comment();
+    };
+    let raw_ids: Vec<&str> = rest[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut ids = Vec::new();
+    for raw in &raw_ids {
+        match canonical_id(raw) {
+            Some(id) => ids.push(id),
+            // An id even canonicalization cannot read: drop the pragma.
+            None => return drop_comment(),
+        }
+    }
+    ids.retain(|id| !stale.contains(id));
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(':')
+        .trim();
+    if ids.is_empty() || reason.is_empty() {
+        // Nothing left to allow, or nothing justifies it.
+        return drop_comment();
+    }
+    let rebuilt = format!("{prefix}// lint:allow({}): {reason}", ids.join(", "));
+    if rebuilt == text && !malformed {
+        return None;
+    }
+    if rebuilt == text {
+        // Malformed for a reason this rewriter does not model.
+        return drop_comment();
+    }
+    Some(Some(rebuilt))
+}
+
+/// Canonicalize a rule id: `l2`/`L02` → `L002`. `None` when unreadable.
+fn canonical_id(raw: &str) -> Option<String> {
+    let digits = raw.strip_prefix(['L', 'l'])?;
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let n: u32 = digits.parse().ok()?;
+    Some(format!("L{n:03}"))
+}
+
+/// Apply planned edits in place. Returns the number of files rewritten.
+pub fn apply(root: &Path, edits: &[LineEdit]) -> Result<usize, String> {
+    let mut by_file: BTreeMap<&str, Vec<&LineEdit>> = BTreeMap::new();
+    for e in edits {
+        by_file.entry(&e.file).or_default().push(e);
+    }
+    for (file, file_edits) in &by_file {
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let had_trailing_newline = text.ends_with('\n');
+        let mut lines: Vec<Option<String>> = text.lines().map(|l| Some(l.to_string())).collect();
+        for e in file_edits {
+            let slot = lines
+                .get_mut(e.line as usize - 1)
+                .ok_or_else(|| format!("{file}:{}: line out of range", e.line))?;
+            if slot.as_deref() != Some(e.old.as_str()) {
+                return Err(format!(
+                    "{file}:{}: file changed since the fix was planned — re-run",
+                    e.line
+                ));
+            }
+            *slot = e.new.clone();
+        }
+        let mut out = lines.into_iter().flatten().collect::<Vec<_>>().join("\n");
+        if had_trailing_newline {
+            out.push('\n');
+        }
+        std::fs::write(&path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(by_file.len())
+}
+
+/// The `--dry-run` view: a minimal `-old` / `+new` diff per edit.
+pub fn render_diff(edits: &[LineEdit]) -> String {
+    let mut out = String::new();
+    for e in edits {
+        out.push_str(&format!("--- {}:{}\n", e.file, e.line));
+        out.push_str(&format!("-{}\n", e.old));
+        if let Some(new) = &e.new {
+            out.push_str(&format!("+{new}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_id_extraction() {
+        assert_eq!(
+            stale_id("stale pragma: `lint:allow(L003)` suppresses nothing — ...").as_deref(),
+            Some("L003")
+        );
+        assert_eq!(stale_id("no pragma here"), None);
+    }
+
+    #[test]
+    fn drops_one_stale_id_and_keeps_the_rest() {
+        let got = fix_line(
+            "    // lint:allow(L001, L002): bounded by warm-up",
+            &["L002".to_string()],
+            false,
+        );
+        assert_eq!(
+            got,
+            Some(Some(
+                "    // lint:allow(L001): bounded by warm-up".to_string()
+            ))
+        );
+    }
+
+    #[test]
+    fn deletes_a_fully_stale_standalone_pragma() {
+        let got = fix_line(
+            "// lint:allow(L001): bounded by warm-up",
+            &["L001".to_string()],
+            false,
+        );
+        assert_eq!(got, Some(None));
+    }
+
+    #[test]
+    fn trailing_pragma_keeps_the_code() {
+        let got = fix_line(
+            "let v = xs.to_vec(); // lint:allow(L001): bounded",
+            &["L001".to_string()],
+            false,
+        );
+        assert_eq!(got, Some(Some("let v = xs.to_vec();".to_string())));
+    }
+
+    #[test]
+    fn canonicalizes_malformed_ids_and_missing_colon() {
+        let got = fix_line("// lint:allow(l1, L02) bounded by warm-up", &[], true);
+        assert_eq!(
+            got,
+            Some(Some(
+                "// lint:allow(L001, L002): bounded by warm-up".to_string()
+            ))
+        );
+    }
+
+    #[test]
+    fn reasonless_pragma_is_deleted_not_invented() {
+        assert_eq!(fix_line("// lint:allow(L001):", &[], true), Some(None));
+        assert_eq!(fix_line("// lint:allow(L001)", &[], true), Some(None));
+    }
+
+    #[test]
+    fn untouched_line_yields_no_edit() {
+        assert_eq!(
+            fix_line("// lint:allow(L001): fine as-is", &[], false),
+            None
+        );
+    }
+}

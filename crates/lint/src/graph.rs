@@ -76,6 +76,8 @@ const STD_METHODS: &[&str] = &[
     "clear",
     "cmp",
     "collect",
+    "compare_exchange",
+    "compare_exchange_weak",
     "contains",
     "contains_key",
     "copy_from_slice",
@@ -88,6 +90,11 @@ const STD_METHODS: &[&str] = &[
     "eq",
     "err",
     "extend",
+    "fetch_add",
+    "fetch_and",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_xor",
     "fill",
     "filter",
     "filter_map",
@@ -119,6 +126,8 @@ const STD_METHODS: &[&str] = &[
     "leading_zeros",
     "len",
     "lines",
+    "load",
+    "lock",
     "map",
     "map_or",
     "map_or_else",
@@ -169,11 +178,13 @@ const STD_METHODS: &[&str] = &[
     "sort_by",
     "sort_by_key",
     "sort_unstable",
+    "spawn",
     "split",
     "split_at",
     "splitn",
     "starts_with",
     "step_by",
+    "store",
     "strip_prefix",
     "strip_suffix",
     "sum",

@@ -28,8 +28,11 @@
 
 pub mod ast;
 pub mod cache;
+pub mod concurrency;
 pub mod config;
+pub mod dataflow;
 pub mod facts;
+pub mod fix;
 pub mod graph;
 pub mod lexer;
 pub mod output;
@@ -76,6 +79,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     pub suppressed: usize,
     pub files_scanned: usize,
+    /// Files served from the incremental cache this run.
+    pub cache_hits: usize,
 }
 
 /// Everything derived from one file's content. A pure function of the
@@ -113,6 +118,8 @@ pub struct Workspace {
     pub pragmas: Vec<Vec<Pragma>>,
     /// Index-aligned with `files`.
     pub externs: Vec<Vec<u32>>,
+    /// Files served from the incremental cache when loading.
+    pub cache_hits: usize,
 }
 
 impl Workspace {
@@ -186,6 +193,7 @@ pub fn load_workspace_cached(
         }
         jobs.push((rel, src, stamp));
     }
+    let cache_hits = done.len();
     let parsed = parse_parallel(&jobs);
     if let Some(c) = cache {
         for ((rel, _, stamp), (_, analysis)) in jobs.iter().zip(&parsed) {
@@ -199,6 +207,7 @@ pub fn load_workspace_cached(
         files: Vec::with_capacity(done.len()),
         pragmas: Vec::with_capacity(done.len()),
         externs: Vec::with_capacity(done.len()),
+        cache_hits,
     };
     for (rel, a) in done {
         ws.files.push((rel, a.facts));
@@ -429,6 +438,7 @@ fn apply_pragmas(ws: &Workspace, raw: Vec<Finding>) -> Report {
         findings,
         suppressed,
         files_scanned: ws.files.len(),
+        cache_hits: ws.cache_hits,
     }
 }
 
@@ -455,6 +465,13 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
             return None;
         }
     }
+}
+
+/// The incremental-cache key: lint.toml's content hash folded with the
+/// rule-set version, so editing configuration or upgrading the analyzer
+/// invalidates every cached per-file verdict instead of serving stale ones.
+pub fn cache_key(config_text: &str) -> u64 {
+    fnv1a64(config_text.as_bytes()) ^ rules::RULE_SET_VERSION.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 /// FNV-1a 64-bit — used for both the trace-format fingerprint and the

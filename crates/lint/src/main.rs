@@ -8,6 +8,9 @@
 //! aurora-lint --fingerprint   # print the trace-format record file contents
 //! aurora-lint --root <dir>    # analyze a different workspace root
 //! aurora-lint --no-cache      # ignore target/aurora-lint.cache
+//! aurora-lint --fix           # rewrite stale/malformed pragmas in place
+//! aurora-lint --fix --dry-run # print the rewrites as a diff instead
+//! aurora-lint --bench <out>   # write analyzer perf baseline JSON to <out>
 //! ```
 
 use std::path::PathBuf;
@@ -15,7 +18,7 @@ use std::process::ExitCode;
 
 use aurora_lint::cache::Cache;
 use aurora_lint::config::LintConfig;
-use aurora_lint::{analyze_with, find_root, load_workspace, output, rules};
+use aurora_lint::{analyze_with, cache_key, find_root, fix, load_workspace, output, rules};
 
 #[derive(PartialEq)]
 enum Format {
@@ -33,10 +36,22 @@ fn main() -> ExitCode {
     let mut list = false;
     let mut graph = false;
     let mut no_cache = false;
+    let mut apply_fix = false;
+    let mut dry_run = false;
+    let mut bench: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
+            "--fix" => apply_fix = true,
+            "--dry-run" => dry_run = true,
+            "--bench" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => bench = Some(PathBuf::from(p)),
+                    None => return usage("--bench needs an output path"),
+                }
+            }
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -149,11 +164,15 @@ fn main() -> ExitCode {
     }
 
     let cache_path = root.join("target/aurora-lint.cache");
+    let key = std::fs::read_to_string(root.join("lint.toml"))
+        .map(|t| cache_key(&t))
+        .unwrap_or(0);
     let mut cache = if no_cache {
         None
     } else {
-        Some(Cache::load(&cache_path))
+        Some(Cache::load(&cache_path, key))
     };
+    let started = std::time::Instant::now();
     let report = match analyze_with(&root, &cfg, cache.as_mut()) {
         Ok(r) => r,
         Err(e) => {
@@ -161,8 +180,71 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let elapsed = started.elapsed().as_secs_f64();
     if let Some(c) = &cache {
         c.save(&cache_path);
+    }
+
+    if apply_fix {
+        let edits = match fix::plan(&root, &report.findings) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("aurora-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if dry_run {
+            print!("{}", fix::render_diff(&edits));
+            eprintln!(
+                "aurora-lint --fix --dry-run: {} edit(s) planned",
+                edits.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        return match fix::apply(&root, &edits) {
+            Ok(files) => {
+                eprintln!(
+                    "aurora-lint --fix: applied {} edit(s) across {files} file(s); re-run to \
+                     verify",
+                    edits.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aurora-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(out_path) = &bench {
+        let rate = if elapsed > 0.0 {
+            report.files_scanned as f64 / elapsed
+        } else {
+            0.0
+        };
+        let hit_rate = if report.files_scanned > 0 {
+            report.cache_hits as f64 / report.files_scanned as f64
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\n  \"lint_baseline\": {{\n    \"files_scanned\": {},\n    \
+             \"elapsed_seconds\": {:.6},\n    \"files_per_second\": {:.1},\n    \
+             \"cache_hits\": {},\n    \"cache_hit_rate\": {:.3},\n    \"rules\": {},\n    \
+             \"findings\": {}\n  }}\n}}\n",
+            report.files_scanned,
+            elapsed,
+            rate,
+            report.cache_hits,
+            hit_rate,
+            rules::RULES.len(),
+            report.findings.len()
+        );
+        if let Err(e) = std::fs::write(out_path, json) {
+            eprintln!("aurora-lint: cannot write {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
     }
 
     // Machine formats own stdout; the human summary moves to stderr so a
@@ -215,6 +297,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: aurora-lint [--root <dir>] [--format text|json|sarif] [--graph]\n\
          \x20                  [--explain L0xx] [--fingerprint] [--list] [--no-cache]\n\
+         \x20                  [--fix [--dry-run]] [--bench <out.json>]\n\
          \n\
          Parses the workspace rooted at the nearest lint.toml, builds the\n\
          cross-crate call graph, and enforces the hot-path, dead-counter,\n\

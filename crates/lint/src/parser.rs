@@ -814,23 +814,23 @@ impl<'t> Parser<'t> {
         let mut lhs = self.parse_bitor(ns);
         loop {
             let line = self.line();
-            let take = if self.at_punct2("=", "=")
-                || self.at_punct2("!", "=")
-                || self.at_punct2("<", "=")
-                || self.at_punct2(">", "=")
-            {
-                2
-            } else if (self.at_punct("<") && !self.at_punct2("<", "<"))
-                || (self.at_punct(">") && !self.at_punct2(">", ">"))
-            {
-                1
+            let (take, op) = if self.at_punct2("=", "=") || self.at_punct2("!", "=") {
+                (2, BinOp::Cmp)
+            } else if self.at_punct2("<", "=") {
+                (2, BinOp::Le)
+            } else if self.at_punct2(">", "=") {
+                (2, BinOp::Ge)
+            } else if self.at_punct("<") && !self.at_punct2("<", "<") {
+                (1, BinOp::Lt)
+            } else if self.at_punct(">") && !self.at_punct2(">", ">") {
+                (1, BinOp::Gt)
             } else {
                 break;
             };
             self.pos += take;
             let rhs = self.parse_bitor(ns);
             lhs = Expr::Binary {
-                op: BinOp::Cmp,
+                op,
                 lhs: Box::new(lhs),
                 rhs: Box::new(rhs),
                 line,
@@ -986,14 +986,24 @@ impl<'t> Parser<'t> {
     fn parse_unary(&mut self, ns: bool) -> Expr {
         if self.at_punct("&") && !self.at_punct2("&", "&") {
             self.pos += 1;
-            self.eat_ident("mut");
-            return Expr::Unary(Box::new(self.parse_unary(ns)));
+            let mutable = self.eat_ident("mut");
+            let inner = Box::new(self.parse_unary(ns));
+            return if mutable {
+                Expr::MutBorrow(inner)
+            } else {
+                Expr::Unary(inner)
+            };
         }
         if self.at_punct2("&", "&") {
             // `&&x` in expression-head position: double reference.
             self.pos += 2;
-            self.eat_ident("mut");
-            return Expr::Unary(Box::new(self.parse_unary(ns)));
+            let mutable = self.eat_ident("mut");
+            let inner = Box::new(self.parse_unary(ns));
+            return if mutable {
+                Expr::MutBorrow(inner)
+            } else {
+                Expr::Unary(inner)
+            };
         }
         if self.at_punct("*") || self.at_punct("-") || self.at_punct("!") {
             self.pos += 1;
@@ -1117,8 +1127,12 @@ impl<'t> Parser<'t> {
             None => return Expr::Opaque(line),
         };
         if t.kind == TokKind::Num {
+            let text = t.text.clone();
             self.pos += 1;
-            return Expr::Lit(line);
+            return match parse_int_literal(&text) {
+                Some(val) => Expr::Num { val, line },
+                None => Expr::Lit(line),
+            };
         }
         if t.kind == TokKind::Punct {
             return match t.text.as_str() {
@@ -1185,6 +1199,12 @@ impl<'t> Parser<'t> {
                     self.skip_attrs();
                     self.parse_expr(ns)
                 }
+                // A lexer-dropped literal can strand a prefix operator
+                // (`*b"SIM_"` lexes to a bare `*`), landing the operand
+                // parse on the enclosing list's closer. That token belongs
+                // to the list parser — consuming it here desynchronizes
+                // every statement after the literal.
+                ")" | "]" | "}" | "," | ";" => Expr::Opaque(line),
                 _ => {
                     self.pos += 1;
                     Expr::Opaque(line)
@@ -1608,6 +1628,35 @@ impl<'t> Parser<'t> {
 }
 
 /// Append a token to a type string, spacing apart adjacent word tokens.
+/// Parses an integer literal token's value: underscores and a trailing
+/// type suffix are stripped, `0x`/`0o`/`0b` radix prefixes are honoured.
+/// Floats and out-of-range values return `None`.
+fn parse_int_literal(text: &str) -> Option<i128> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let mut s = cleaned.as_str();
+    for suffix in [
+        "u128", "i128", "usize", "isize", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ] {
+        if let Some(rest) = s.strip_suffix(suffix) {
+            s = rest;
+            break;
+        }
+    }
+    if s.is_empty() {
+        return None;
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i128::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = s.strip_prefix("0o").or_else(|| s.strip_prefix("0O")) {
+        return i128::from_str_radix(oct, 8).ok();
+    }
+    if let Some(bin) = s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")) {
+        return i128::from_str_radix(bin, 2).ok();
+    }
+    s.parse::<i128>().ok()
+}
+
 fn push_tok(out: &mut String, t: &Tok) {
     let word = |c: char| c.is_alphanumeric() || c == '_';
     if let (Some(last), Some(first)) = (out.chars().last(), t.text.chars().next()) {

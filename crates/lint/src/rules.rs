@@ -2,12 +2,16 @@
 //! the workspace [`Graph`]; suppression is applied by the caller (`lib.rs`),
 //! which also owns the pragma-hygiene rules L000/L009.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::config::LintConfig;
-use crate::facts::{Event, NARROW_TARGETS};
+use crate::facts::{CallFact, Event, FnFacts, NARROW_TARGETS};
 use crate::graph::{head, path_matches, peel_refs, FnId, Graph};
 use crate::{Finding, Workspace};
+
+/// Bumped whenever a rule's semantics change: folded into the incremental
+/// cache key so upgrading the analyzer invalidates cached verdicts.
+pub const RULE_SET_VERSION: u64 = 3;
 
 pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Finding> {
     let graph = Graph::new(&ws.files, ws.extern_lines());
@@ -19,6 +23,8 @@ pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Finding> {
     narrowing_casts(ws, cfg, &mut out);
     determinism(ws, cfg, &graph, &mut out);
     unit_mixing(ws, cfg, &mut out);
+    crate::concurrency::run(ws, cfg, &graph, &mut out);
+    checkpoint_drift(ws, cfg, &mut out);
     out
 }
 
@@ -113,6 +119,16 @@ fn hot_path_rules(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Fin
                     format!(
                         "slice index without `get` inside `{qual}` ({prov}) — indexing panics \
                          on out-of-bounds"
+                    ),
+                )),
+                Event::Arith { what, line } => out.push(finding(
+                    rel,
+                    *line,
+                    "L010",
+                    format!(
+                        "unchecked arithmetic on {what} inside `{qual}` ({prov}) can wrap in a \
+                         release build — use `saturating_*`/`checked_*`, or guard the operands \
+                         so the range analysis can prove the result fits"
                     ),
                 )),
                 _ => {}
@@ -614,6 +630,101 @@ fn unit_mixing(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
     }
 }
 
+// -------------------------------------------------------------------- L014
+
+/// Does `f` participate in the checkpoint codec on the given side? Either
+/// its signature mentions the writer/reader type, or it constructs one.
+fn codec_side(f: &FnFacts, marker: &str) -> bool {
+    f.params.iter().any(|t| t.contains(marker))
+        || f.calls.iter().any(
+            |c| matches!(c, CallFact::Qualified { ty, name, .. } if ty == marker && name == "new"),
+        )
+}
+
+/// Every field a fn touches on `self` (any access / write accesses only).
+fn self_fields(f: &FnFacts, writes_only: bool) -> HashSet<&str> {
+    f.accesses
+        .iter()
+        .filter(|a| a.chain == "self" && (!writes_only || a.write))
+        .map(|a| a.field.as_str())
+        .collect()
+}
+
+/// L014: cross-check each Snapshot save/restore pair against the fields
+/// the two sides actually touch. A field save serializes but restore never
+/// mentions — or restore writes but save never serialized — is drift: the
+/// checkpoint byte stream and the struct disagree, the statically visible
+/// shape of the FPU queue-capacity restore bug PR 7 caught dynamically.
+///
+/// "Touched" is asymmetric on purpose: the save side counts *any* access
+/// (serializing `self.tags.len()` covers `tags`), while the restore side
+/// fires only on *writes* for the never-saved direction — restore reading
+/// `self.cfg.instr_queue` to size a buffer is a bound, not state.
+fn checkpoint_drift(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    const SAVE_NAMES: &[&str] = &["save", "save_checkpoint"];
+    const RESTORE_NAMES: &[&str] = &["restore", "restore_checkpoint"];
+    for (rel, facts) in &ws.files {
+        let mut pairs: HashMap<&str, (Option<&FnFacts>, Option<&FnFacts>)> = HashMap::new();
+        for f in facts
+            .fns
+            .iter()
+            .filter(|f| !f.in_test && !f.self_ty.is_empty())
+        {
+            if SAVE_NAMES.contains(&f.name.as_str()) && codec_side(f, &cfg.checkpoint.writer) {
+                pairs.entry(&f.self_ty).or_default().0 = Some(f);
+            }
+            if RESTORE_NAMES.contains(&f.name.as_str()) && codec_side(f, &cfg.checkpoint.reader) {
+                pairs.entry(&f.self_ty).or_default().1 = Some(f);
+            }
+        }
+        let mut tys: Vec<&&str> = pairs.keys().collect();
+        tys.sort();
+        for ty in tys {
+            let (Some(save), Some(restore)) = pairs[*ty] else {
+                continue;
+            };
+            // Trait declarations and types defined elsewhere have no
+            // struct layout here to check against.
+            let Some((_, _, fields)) = facts.structs.iter().find(|(n, _, _)| n == *ty) else {
+                continue;
+            };
+            let saved = self_fields(save, false);
+            let restored_any = self_fields(restore, false);
+            let restored_writes = self_fields(restore, true);
+            for field in fields {
+                let name = field.name.as_str();
+                if saved.contains(name) && !restored_any.contains(name) {
+                    out.push(finding(
+                        rel,
+                        field.line,
+                        "L014",
+                        format!(
+                            "checkpoint drift in `{ty}`: `{name}` is serialized by \
+                             `{}` but `{}` never touches it — a restored machine silently \
+                             keeps its pre-restore `{name}`",
+                            save.qual_name(),
+                            restore.qual_name()
+                        ),
+                    ));
+                } else if restored_writes.contains(name) && !saved.contains(name) {
+                    out.push(finding(
+                        rel,
+                        field.line,
+                        "L014",
+                        format!(
+                            "checkpoint drift in `{ty}`: `{name}` is written by \
+                             `{}` but `{}` never serializes it — restore consumes or resets \
+                             state the checkpoint does not carry",
+                            restore.qual_name(),
+                            save.qual_name()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 // ----------------------------------------------------------------- explain
 
 pub const RULES: &[(&str, &str, &str)] = &[
@@ -717,6 +828,71 @@ pub const RULES: &[(&str, &str, &str)] = &[
          was fixed or moved, but the pragma keeps suppressing — so a *new* violation at the \
          same site would be invisible. Delete the pragma (or drop the rule id that no longer \
          fires from its list). L009 cannot itself be suppressed.",
+    ),
+    (
+        "L010",
+        "unchecked cycle/count arithmetic that can wrap",
+        "Release builds wrap silently, so `+`/`-`/`*` on cycle- or count-named u64 values \
+         inside the hot set must be provably in range. A per-function interval analysis \
+         abstract-interprets each body: literals and locals carry exact ranges, unknown \
+         one-shot operands get [0, 2^62] (one add of two unknowns is safe by construction; \
+         a chain of four is not), and the target of a compound assignment through a field or \
+         index is widened to the full u64 range — a persistent accumulator's history is \
+         unbounded across calls. Subtraction is proven by ranges or by a dominating \
+         `>=`/`>` guard on the same operands; `saturating_*`/`checked_*`/`wrapping_*` \
+         methods and an explicit `as` cast on either operand silence the rule. See \
+         docs/LINTS.md for the full lattice and its deliberate imprecisions.",
+    ),
+    (
+        "L011",
+        "lock-order inversion cycle",
+        "Every `.lock()` taken while another guard is live contributes a directed edge to a \
+         workspace-wide lock-order graph; calls made under a lock import the callee's \
+         transitive acquisitions as edges too. A cycle means two threads can each hold one \
+         lock and wait for the other — a deadlock that needs no misfortune beyond \
+         scheduling. The diagnostic prints the cycle and names every acquisition site on \
+         it. Locks are identified by label (`Type.field`, `fn::local`, `path::STATIC`), so \
+         same-named statics in different modules alias — an over-approximation that errs \
+         toward reporting. Fix by picking one global acquisition order; explicit `drop()` \
+         of a guard mid-block is not modelled, so early drops need a reasoned pragma.",
+    ),
+    (
+        "L012",
+        "suspicious atomic ordering",
+        "Two shapes fire, both on the same atomic target (matched by label, \
+         workspace-wide): (1) a store/load ordering mismatch — a Release/SeqCst store \
+         observed by a Relaxed load (or an Acquire/SeqCst load of a Relaxed store) does \
+         not synchronize, so data published before the store may not be visible after the \
+         load; (2) an all-Relaxed flag whose stores and loads cross a spawn boundary — if \
+         the flag guards non-atomic data, readers can see the flag flip without the data. \
+         Targets used only through read-modify-write ops (`fetch_add` counters, \
+         `compare_exchange` state machines) are never flagged: Relaxed is the correct \
+         ordering for a pure counter.",
+    ),
+    (
+        "L013",
+        "blocking call reachable from a pool worker loop",
+        "Everything reachable from the worker-loop roots declared in lint.toml's [[pool]] \
+         sections must not block: file I/O (`File::open`, `fs::*`, `read_to_string`), \
+         `Mutex::lock`, and stdio macros (`println!` takes the stdout lock) stall a \
+         work-stealing worker and idle its core for the rest of the sweep. The diagnostic \
+         names the call chain from the pool root. Hoist the blocking call out of the drain \
+         loop, buffer output per worker, or hand the work to a dedicated thread.",
+    ),
+    (
+        "L014",
+        "checkpoint save/restore field drift",
+        "For every type whose `save`/`restore` signature uses the Snapshot codec \
+         (SnapshotWriter/SnapshotReader, configurable under [checkpoint] in lint.toml), \
+         the two sides must touch the same fields: a field save serializes but restore \
+         never mentions leaves restored machines running with pre-restore state, and a \
+         field restore writes but save never serialized consumes bytes the checkpoint \
+         does not carry — both are the statically visible shape of the FPU queue-capacity \
+         restore bug the differential suite caught dynamically in PR 7. Reads count as \
+         coverage on the restore side (sizing a buffer from `self.cfg` is a bound, not \
+         state), and deliberately uncheckpointed diagnostics belong in a named helper \
+         called outside restore, not in the restore body — see the checkpoint codec \
+         checklist in docs/LINTS.md.",
     ),
 ];
 

@@ -1,0 +1,44 @@
+//! L010 fixture: integer-range dataflow on the hot path. `arith_root` is
+//! the only declared root; `unchecked_product` proves L010 propagates
+//! transitively and names the chain. The guarded, headroom and
+//! saturating shapes below must stay silent — they are the prescribed
+//! fixes, and flagging them would teach people to ignore the rule.
+
+pub struct Tally {
+    total_cycles: u64,
+}
+
+pub fn arith_root(t: &mut Tally, stall_cycles: u64, op_count: u64) {
+    t.total_cycles += stall_cycles; // FIRE: L010 (accumulator add can wrap)
+    let _ = guarded_sub(stall_cycles, op_count);
+    let _ = headroom_add(stall_cycles, op_count);
+    saturating_tally(t, stall_cycles);
+    let _ = unchecked_product(stall_cycles, op_count);
+}
+
+// Transitively hot: unknown × unknown on count-typed operands can wrap
+// in one multiply.
+fn unchecked_product(stall_cycles: u64, op_count: u64) -> u64 {
+    stall_cycles * op_count // FIRE: L010 (unknown product)
+}
+
+// Silent: the dominating guard proves the subtraction cannot wrap, and
+// the proof must not leak into the else branch (which avoids the op).
+fn guarded_sub(end_cycle: u64, start_cycle: u64) -> u64 {
+    if end_cycle >= start_cycle {
+        end_cycle - start_cycle
+    } else {
+        0
+    }
+}
+
+// Silent: two unknown operands carry 2 bits of headroom — a single add
+// cannot reach u64::MAX.
+fn headroom_add(a_cycles: u64, b_cycles: u64) -> u64 {
+    a_cycles + b_cycles
+}
+
+// Silent: the saturating form is the prescribed fix.
+fn saturating_tally(t: &mut Tally, stall_cycles: u64) {
+    t.total_cycles = t.total_cycles.saturating_add(stall_cycles);
+}

@@ -1,0 +1,44 @@
+//! L012 fixture: both suspicious-ordering shapes fire; the Relaxed
+//! `fetch_add` counter and the single-thread Relaxed pair are decoys
+//! that must stay silent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread::Scope;
+
+pub struct Flags {
+    ready: AtomicBool,
+    served: AtomicU64,
+    local_gen: AtomicU64,
+}
+
+// Publisher: Release store of the ready flag.
+pub fn publish(f: &Flags) {
+    f.ready.store(true, Ordering::Release);
+}
+
+// Consumer: the Relaxed load does not synchronize-with the Release
+// store, so data published before the flag may not be visible.
+pub fn consume(f: &Flags) -> bool {
+    f.ready.load(Ordering::Relaxed) // FIRE: L012 (Release store, Relaxed load)
+}
+
+// Decoy: a Relaxed fetch_add counter is RMW-only — never flagged.
+pub fn count(f: &Flags) {
+    f.served.fetch_add(1, Ordering::Relaxed);
+}
+
+// Decoy: Relaxed store+load confined to one thread (no spawn boundary).
+pub fn single_thread(f: &Flags) -> u64 {
+    f.local_gen.store(7, Ordering::Relaxed);
+    f.local_gen.load(Ordering::Relaxed)
+}
+
+// A stop flag crossing a spawn boundary with Relaxed on every side: if
+// it guards non-atomic data, the worker can see the flag without the
+// data.
+pub fn spawn_stop_flag<'s>(scope: &'s Scope<'s, '_>, stop: &'s AtomicBool) {
+    scope.spawn(|| {
+        while !stop.load(Ordering::Relaxed) {}
+    });
+    stop.store(true, Ordering::Relaxed); // FIRE: L012 (Relaxed across spawn)
+}

@@ -1,0 +1,18 @@
+//! L011 fixture, half one: acquires `Hub.a` then `Hub.b`. Together with
+//! the opposite order in locks_b.rs this closes a lock-order inversion
+//! cycle spanning two files. The diagnostic lands on the second
+//! acquisition of the lexicographically first edge — here — and its
+//! message must name both acquisition sites.
+
+use std::sync::Mutex;
+
+pub struct Hub {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+pub fn alpha_then_beta(h: &Hub) {
+    let ga = h.a.lock();
+    let _gb = h.b.lock(); // FIRE: L011 (Hub.a -> Hub.b -> Hub.a cycle)
+    drop(ga);
+}

@@ -1,0 +1,12 @@
+//! L011 fixture, half two: acquires `Hub.b` then `Hub.a` — the reverse
+//! of locks_a.rs. No marker here: the cycle is reported once, at the
+//! edge site in locks_a.rs, but the message must cite this acquisition
+//! too.
+
+use crate::locks_a::Hub;
+
+pub fn beta_then_alpha(h: &Hub) {
+    let gb = h.b.lock();
+    let _ga = h.a.lock();
+    drop(gb);
+}

@@ -1,0 +1,20 @@
+//! L013 fixture: `fixture_drain` is the declared `[[pool]]` root; the
+//! stdio lock two calls down must fire with the full chain in its
+//! message.
+
+pub fn fixture_drain(jobs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for j in jobs {
+        acc += step(*j);
+    }
+    acc
+}
+
+fn step(j: u64) -> u64 {
+    log_progress(j);
+    j + 1
+}
+
+fn log_progress(j: u64) {
+    println!("cell {j}"); // FIRE: L013 (stdio lock in the pool loop)
+}

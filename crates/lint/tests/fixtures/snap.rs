@@ -1,0 +1,28 @@
+//! L014 fixture: the statically visible shape of the FPU
+//! queue-capacity restore bug — a field the restore side writes that the
+//! save side never serializes. `depth` is symmetric, `capacity` is a
+//! configuration bound restore only *reads* (a decoy that must stay
+//! silent), and `scratch_head` is the drift.
+
+pub struct FpQueue {
+    depth: u64,
+    capacity: u64,
+    scratch_head: u64, // FIRE: L014 (restore-only write, never saved)
+}
+
+impl FpQueue {
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.depth);
+    }
+
+    pub fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.depth = r.u64()?;
+        // Capacity is configuration: cross-checked as a bound, not
+        // deserialized. Reads must not count as restore coverage.
+        if self.depth > self.capacity {
+            return Err(SnapError::Corrupt);
+        }
+        self.scratch_head = 0;
+        Ok(())
+    }
+}

@@ -63,7 +63,8 @@ fn every_rule_fires_exactly_where_marked() {
     );
     // Every rule — including the pragma-hygiene rules — is represented.
     for rule in [
-        "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009",
+        "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+        "L011", "L012", "L013", "L014",
     ] {
         assert!(
             expected.iter().any(|(_, _, r)| r == rule),
@@ -135,6 +136,106 @@ fn explain_covers_every_rule() {
         );
     }
     assert!(aurora_lint::rules::explain("L999").is_none());
+}
+
+/// The semantic rules carry their context: L010 names the chain that
+/// made `unchecked_product` hot, L013 names the pool chain, and the L011
+/// cycle message cites both acquisition sites of the inversion.
+#[test]
+fn semantic_findings_carry_their_chains() {
+    let report = aurora_lint::analyze(&fixtures_root()).expect("fixture analysis succeeds");
+    let find = |file: &str, rule: &str| {
+        report
+            .findings
+            .iter()
+            .find(|f| f.file == file && f.rule == rule)
+            .unwrap_or_else(|| panic!("expected a {rule} finding in {file}"))
+    };
+    let product = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "L010" && f.msg.contains("unchecked_product"))
+        .expect("the transitive product fires");
+    assert!(
+        product
+            .msg
+            .contains("hot via arith_root -> unchecked_product"),
+        "chain missing from message: {}",
+        product.msg
+    );
+    let cycle = find("locks_a.rs", "L011");
+    assert!(
+        cycle.msg.contains("locks_a.rs") && cycle.msg.contains("locks_b.rs"),
+        "cycle must cite both acquisition sites: {}",
+        cycle.msg
+    );
+    let blocking = find("pool.rs", "L013");
+    assert!(
+        blocking
+            .msg
+            .contains("in pool loop via fixture_drain -> step -> log_progress"),
+        "pool chain missing from message: {}",
+        blocking.msg
+    );
+    let drift = find("snap.rs", "L014");
+    assert!(
+        drift.msg.contains("FpQueue")
+            && drift.msg.contains("scratch_head")
+            && drift.msg.contains("never serializes"),
+        "drift message must name struct, field and side: {}",
+        drift.msg
+    );
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create copy dir");
+    for entry in std::fs::read_dir(from).expect("read fixture dir") {
+        let entry = entry.expect("dir entry");
+        let dest = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &dest);
+        } else {
+            std::fs::copy(entry.path(), &dest).expect("copy fixture file");
+        }
+    }
+}
+
+/// `--fix` round-trip: apply the mechanical pragma fixes to a copy of
+/// the fixture tree until the planner runs dry, then assert the
+/// pragma-hygiene rules are clean while the deliberate violations are
+/// untouched. Two passes are expected: repairing a reasonless pragma can
+/// expose it as stale (the CLI prints "re-run to verify" for exactly
+/// this reason).
+#[test]
+fn fix_converges_and_clears_pragma_hygiene() {
+    let dir = std::env::temp_dir().join(format!("aurora-lint-fix-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(&fixtures_root(), &dir);
+    let mut passes = 0usize;
+    loop {
+        let report = aurora_lint::analyze(&dir).expect("copy analysis succeeds");
+        let edits = aurora_lint::fix::plan(&dir, &report.findings).expect("plan fixes");
+        if edits.is_empty() {
+            break;
+        }
+        aurora_lint::fix::apply(&dir, &edits).expect("apply fixes");
+        passes += 1;
+        assert!(passes <= 3, "--fix failed to converge");
+    }
+    assert!(passes >= 1, "the fixture tree must need at least one fix");
+    let fixed = aurora_lint::analyze(&dir).expect("fixed copy analysis succeeds");
+    for f in &fixed.findings {
+        assert!(
+            f.rule != "L000" && f.rule != "L009",
+            "pragma-hygiene finding survived --fix: {f}"
+        );
+    }
+    // The non-mechanical violations are deliberately left alone.
+    assert!(
+        fixed.findings.iter().any(|f| f.rule == "L001"),
+        "--fix must not touch non-pragma findings"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The shipped tree must be clean: this is the same gate ci.sh runs, kept

@@ -218,7 +218,7 @@ impl Biu {
         let tx_start = now.max(self.transmit_free_at);
         let tx_end = tx_start + tx_cycles;
         self.transmit_free_at = tx_end;
-        self.stats.transmit_busy_cycles += tx_cycles;
+        self.stats.transmit_busy_cycles = self.stats.transmit_busy_cycles.saturating_add(tx_cycles);
 
         match kind {
             TransferKind::WriteBack => tx_end,
@@ -229,9 +229,12 @@ impl Biu {
             _ => {
                 let mem_done = tx_end + self.latency.sample(&mut self.rng) as u64;
                 let rx_start = mem_done.max(self.receive_free_at);
-                let rx_end = rx_start + self.line_cycles();
+                let rx_end = rx_start.saturating_add(self.line_cycles());
                 self.receive_free_at = rx_end;
-                self.stats.receive_busy_cycles += self.line_cycles();
+                self.stats.receive_busy_cycles = self
+                    .stats
+                    .receive_busy_cycles
+                    .saturating_add(self.line_cycles());
                 rx_end
             }
         }
