@@ -37,7 +37,7 @@ cargo test -q -p aurora-lint
 echo "== rustdoc (missing/broken docs are errors; vendored crates excluded) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p aurora-isa -p aurora-workloads -p aurora-mem -p aurora-core \
-    -p aurora-cost -p aurora-bench -p aurora-lint -p aurora3
+    -p aurora-cost -p aurora-bench -p aurora-serve -p aurora-lint -p aurora3
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -66,5 +66,33 @@ grep -q '"stats_bit_identical": true' target/ci/BENCH_sim.json
 
 echo "== sampled smoke (suite-mean CPI error within 2% of full detail) =="
 grep -q '"mean_cpi_error_within_2pct": true' target/ci/BENCH_sampled.json
+
+echo "== service smoke (daemon answers a grid; repeat is all-memo, zero re-simulation) =="
+rm -rf target/ci/serve-store target/ci/aurora.sock
+./target/release/aurora-serve --store target/ci/serve-store --unix target/ci/aurora.sock &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S target/ci/aurora.sock ] && break; sleep 0.1; done
+[ -S target/ci/aurora.sock ]
+# Same 2×2 grid twice: pass 1 may simulate, pass 2 must be 100% memo
+# hits (>=90% is the gate's floor; the store makes it exactly 4/4).
+./target/release/aurora-query --unix target/ci/aurora.sock \
+    --models baseline --issue single,dual --workloads espresso,compress \
+    --scale test --mode block > target/ci/serve_pass1.ndjson
+grep -q '"type":"summary"' target/ci/serve_pass1.ndjson
+./target/release/aurora-query --unix target/ci/aurora.sock \
+    --models baseline --issue single,dual --workloads espresso,compress \
+    --scale test --mode block > target/ci/serve_pass2.ndjson
+grep -q '"memo_hits":4' target/ci/serve_pass2.ndjson
+grep -q '"simulated":0' target/ci/serve_pass2.ndjson
+kill "$SERVE_PID"
+trap - EXIT
+
+echo "== serve perf smoke (cold/warm latency, memo hit rate, bit-identity) =="
+cargo run --release -q -p aurora-serve --bin serve_baseline -- \
+    --scale test --out target/ci/BENCH_serve.json
+grep -q '"memo_bit_identical": true' target/ci/BENCH_serve.json
+grep -q '"warm_hit_rate": 1.000' target/ci/BENCH_serve.json
+grep -q '"warm_simulated": 0' target/ci/BENCH_serve.json
 
 echo "CI OK"

@@ -215,6 +215,15 @@ fn book(md: &mut String, scale: Scale) {
              error ≤ 2% and ≥ 5× throughput gate the CI smoke",
         ),
         (
+            "design-space query service",
+            "`aurora-serve`",
+            "`cargo run --release -p aurora-serve --bin serve_baseline -- --scale test` (full command)",
+            "`BENCH_serve.json`",
+            "not a paper number: cold-vs-warm latency, memo hit rate and pool \
+             parallelism for the memoised daemon (docs/SERVICE.md); warm cells \
+             asserted bit-identical to a direct `run_matrix` sweep",
+        ),
+        (
             "workspace invariant gate",
             "`aurora-lint`",
             "`cargo run -q -p aurora-lint -- --format sarif > lint.sarif` (full command)",

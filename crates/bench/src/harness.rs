@@ -112,6 +112,63 @@ impl MatrixMetrics {
     }
 }
 
+/// Runs `cells` independent jobs through the work-stealing sweep pool,
+/// invoking `on_cell` on the worker thread as each job completes. This
+/// is the library form of the grid drain behind [`run_matrix`]: callers
+/// with a sparse or heterogeneous cell list (the `aurora-serve` query
+/// engine batching cold design-space cells, a sampled-mode sweep) reuse
+/// the same pool sizing, work stealing and [`MatrixMetrics`] profiling
+/// as the full-matrix path.
+///
+/// `run_cell(i)` computes cell `i`; results come back as `Vec<R>` in
+/// cell order. `on_cell(i, &result)` fires in *completion* order, on the
+/// pool thread that finished the cell — keep it cheap and non-blocking
+/// (forward into a channel for anything heavier: the drain loop is the
+/// `[[pool]]` lint root, so blocking calls reachable from it fail L013).
+///
+/// # Panics
+///
+/// Propagates panics from `run_cell`/`on_cell` (a panicking cell is a
+/// bug in the cell function, not an operational error).
+pub fn drain_cells_timed<R, F, C>(cells: usize, run_cell: F, on_cell: C) -> (Vec<R>, MatrixMetrics)
+where
+    R: Send + Sync,
+    F: Fn(usize) -> R + Sync,
+    C: Fn(usize, &R) + Sync,
+{
+    if cells == 0 {
+        return (Vec::new(), MatrixMetrics::default());
+    }
+    let results: Vec<OnceLock<R>> = (0..cells).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let threads = sweep_threads(cells);
+    let drain_start = Instant::now();
+    let profile: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(|| drain_worker(&next, cells, &run_cell, &on_cell, &results)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
+    });
+    let metrics = MatrixMetrics {
+        threads,
+        wall_seconds: drain_start.elapsed().as_secs_f64(),
+        cells,
+        per_thread_cells: profile.iter().map(|&(done, _)| done).collect(),
+        per_thread_seconds: profile.iter().map(|&(_, busy)| busy).collect(),
+    };
+    let out: Vec<R> = results
+        .into_iter()
+        .map(|c| match c.into_inner() {
+            Some(r) => r,
+            None => unreachable!("cell not simulated"),
+        })
+        .collect();
+    (out, metrics)
+}
+
 /// Replays every workload against every configuration: the universal
 /// sweep shape behind the paper's figures and tables.
 ///
@@ -160,57 +217,47 @@ pub fn run_matrix_timed(
     });
     // Phase 2: drain the replay grid with work stealing — replay times
     // vary wildly across (config, workload) cells, so static chunking
-    // would leave threads idle.
-    let cells = configs.len() * workloads.len();
-    let results: Vec<OnceLock<SimStats>> = (0..cells).map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    let threads = sweep_threads(cells);
-    let drain_start = Instant::now();
-    let profile: Vec<(usize, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| drain_worker(&next, configs, workloads.len(), &traces, &results))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread"))
-            .collect()
-    });
-    let metrics = MatrixMetrics {
-        threads,
-        wall_seconds: drain_start.elapsed().as_secs_f64(),
+    // would leave threads idle. Cells are claimed in workload-major
+    // order: consecutive cells replay the same trace against different
+    // configs, so the block pool and templates stay cache-hot instead
+    // of being streamed from memory once per configuration row.
+    let n_configs = configs.len();
+    let cells = n_configs * workloads.len();
+    let (flat, metrics) = drain_cells_timed(
         cells,
-        per_thread_cells: profile.iter().map(|&(done, _)| done).collect(),
-        per_thread_seconds: profile.iter().map(|&(_, busy)| busy).collect(),
-    };
-    let mut rows: Vec<Vec<SimStats>> = Vec::with_capacity(configs.len());
-    let mut cells = results.into_iter();
-    for _ in configs {
-        rows.push(
-            cells
-                .by_ref()
-                .take(workloads.len())
-                .map(|c| c.into_inner().expect("cell not simulated"))
-                .collect(),
-        );
+        |cell| {
+            let (wi, ci) = (cell / n_configs, cell % n_configs);
+            replay_blocks(&configs[ci], &traces[wi])
+        },
+        |_, _| {},
+    );
+    // Reshape the workload-major flat order into config-major rows.
+    let mut rows: Vec<Vec<SimStats>> = (0..n_configs)
+        .map(|_| Vec::with_capacity(workloads.len()))
+        .collect();
+    for (cell, stats) in flat.into_iter().enumerate() {
+        rows[cell % n_configs].push(stats);
     }
     (rows, metrics)
 }
 
-/// One work-stealing pool thread's share of the replay grid: claim cells
-/// off the shared counter until the grid is drained, returning the cell
-/// count and busy seconds this worker accumulated. Declared as the
+/// One work-stealing pool thread's share of a cell drain: claim cells
+/// off the shared counter until the list is exhausted, returning the
+/// cell count and busy seconds this worker accumulated. Declared as the
 /// `[[pool]]` root in lint.toml — nothing reachable from here may block
 /// (L013), or the sweep serializes on whichever thread holds the lock.
-fn drain_worker(
+fn drain_worker<R, F, C>(
     next: &AtomicUsize,
-    configs: &[MachineConfig],
-    workloads_n: usize,
-    traces: &[Arc<BlockTrace>],
-    results: &[OnceLock<SimStats>],
-) -> (usize, f64) {
-    let cells = configs.len() * workloads_n;
+    cells: usize,
+    run_cell: &F,
+    on_cell: &C,
+    results: &[OnceLock<R>],
+) -> (usize, f64)
+where
+    R: Send + Sync,
+    F: Fn(usize) -> R + Sync,
+    C: Fn(usize, &R) + Sync,
+{
     let mut done = 0usize;
     let mut busy = 0.0f64;
     loop {
@@ -218,18 +265,14 @@ fn drain_worker(
         if cell >= cells {
             return (done, busy);
         }
-        // Workload-major order: consecutive cells replay the same
-        // trace against different configs, so the block pool and
-        // templates stay cache-hot instead of being streamed from
-        // memory once per configuration row.
-        let (wi, ci) = (cell / configs.len(), cell % configs.len());
         let t = Instant::now();
-        let stats = replay_blocks(&configs[ci], &traces[wi]);
+        let r = run_cell(cell);
         busy += t.elapsed().as_secs_f64();
         done += 1;
-        results[ci * workloads_n + wi]
-            .set(stats)
-            .expect("cell simulated twice");
+        on_cell(cell, &r);
+        if results[cell].set(r).is_err() {
+            unreachable!("cell simulated twice");
+        }
     }
 }
 
@@ -367,6 +410,23 @@ mod tests {
         let stats = run(&cfg, &w);
         assert!(stats.instructions > 10_000);
         assert!(stats.cpi() > 0.5);
+    }
+
+    #[test]
+    fn drain_cells_returns_in_cell_order_and_fires_callback_per_cell() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let (out, metrics) =
+            drain_cells_timed(25, |i| i * i, |i, &r| seen.lock().unwrap().push((i, r)));
+        assert_eq!(out, (0..25).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(metrics.cells, 25);
+        assert_eq!(metrics.per_thread_cells.iter().sum::<usize>(), 25);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..25).map(|i| (i, i * i)).collect::<Vec<_>>());
+        let (empty, m0) = drain_cells_timed(0, |_| 0u32, |_, _| {});
+        assert!(empty.is_empty());
+        assert_eq!(m0.threads, 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use aurora_isa::Fnv1a;
 use aurora_mem::LatencyModel;
 
 /// Number of integer execution pipelines (paper §4.2: "one or two
@@ -326,6 +327,99 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
+    /// A stable 64-bit fingerprint of every *semantic* knob — the fields
+    /// that can change simulation statistics. Two configs with equal
+    /// fingerprints produce bit-identical [`SimStats`](crate::SimStats)
+    /// for any trace, so memoised results (the `aurora-serve` result
+    /// store) key on this value.
+    ///
+    /// Deliberately excluded:
+    ///
+    /// * [`name`](MachineConfig::name) — a human-readable label;
+    /// * [`cycle_skip`](MachineConfig::cycle_skip),
+    ///   [`block_replay`](MachineConfig::block_replay) and
+    ///   [`observe`](MachineConfig::observe) — execution-mode knobs whose
+    ///   on/off statistics are proven bit-identical by the differential
+    ///   suites, so caching them separately would only split the memo.
+    ///
+    /// The fingerprint is cross-process stable ([`Fnv1a`], little-endian
+    /// field order as written below); any semantic-field addition must
+    /// extend this function, which the config-coverage lint (L004) and
+    /// the serve store's versioning both lean on.
+    ///
+    /// ```
+    /// use aurora_core::{IssueWidth, MachineModel};
+    /// use aurora_mem::LatencyModel;
+    ///
+    /// let a = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+    /// let mut b = a.clone();
+    /// b.name = "renamed".to_owned(); // label only — same machine
+    /// b.observe = true; // proven stats-neutral
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// b.mshr_entries += 1; // a real resource change
+    /// assert_ne!(a.fingerprint(), b.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u8(match self.issue_width {
+            IssueWidth::Single => 1,
+            IssueWidth::Dual => 2,
+        });
+        h.write_u32(self.icache_bytes);
+        h.write_u32(self.dcache_bytes);
+        h.write_u32(self.line_bytes);
+        h.write_usize(self.write_cache_lines);
+        h.write_usize(self.rob_entries);
+        h.write_usize(self.prefetch_buffers);
+        h.write_usize(self.prefetch_depth);
+        h.write_bool(self.prefetch_enabled);
+        h.write_usize(self.mshr_entries);
+        match self.memory_latency {
+            LatencyModel::Fixed(l) => {
+                h.write_u8(0);
+                h.write_u32(l);
+            }
+            LatencyModel::Uniform { lo, hi } => {
+                h.write_u8(1);
+                h.write_u32(lo);
+                h.write_u32(hi);
+            }
+            LatencyModel::Bimodal {
+                hit,
+                miss,
+                hit_permille,
+            } => {
+                h.write_u8(2);
+                h.write_u32(hit);
+                h.write_u32(miss);
+                h.write_u16(hit_permille);
+            }
+        }
+        h.write_u32(self.dcache_latency);
+        h.write_bool(self.branch_folding);
+        h.write_bool(self.write_validation);
+        h.write_u8(match self.fpu.issue_policy {
+            FpIssuePolicy::InOrderComplete => 0,
+            FpIssuePolicy::OutOfOrderSingle => 1,
+            FpIssuePolicy::OutOfOrderDual => 2,
+        });
+        h.write_usize(self.fpu.instr_queue);
+        h.write_usize(self.fpu.load_queue);
+        h.write_usize(self.fpu.store_queue);
+        h.write_usize(self.fpu.rob_entries);
+        h.write_u32(self.fpu.add_latency);
+        h.write_u32(self.fpu.mul_latency);
+        h.write_u32(self.fpu.div_latency);
+        h.write_u32(self.fpu.cvt_latency);
+        h.write_bool(self.fpu.add_pipelined);
+        h.write_bool(self.fpu.mul_pipelined);
+        h.write_usize(self.fpu.result_busses);
+        // The latency RNG seed changes drawn latencies and therefore
+        // stats: it is semantic.
+        h.write_u64(self.seed);
+        h.finish()
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -474,6 +568,82 @@ mod tests {
         }
         .validate()
         .unwrap();
+    }
+
+    #[test]
+    fn fingerprint_ignores_labels_and_mode_knobs() {
+        let a = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let mut b = a.clone();
+        b.name = "other-label".to_owned();
+        b.cycle_skip = false;
+        b.block_replay = false;
+        b.observe = true;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_every_semantic_knob() {
+        let base = MachineModel::Baseline.config(IssueWidth::Dual, LatencyModel::Fixed(17));
+        let fp = base.fingerprint();
+        let variants: Vec<MachineConfig> = vec![
+            {
+                let mut c = base.clone();
+                c.issue_width = IssueWidth::Single;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.icache_bytes *= 2;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.mshr_entries += 1;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.memory_latency = LatencyModel::average_17();
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.memory_latency = LatencyModel::Bimodal {
+                    hit: 9,
+                    miss: 25,
+                    hit_permille: 500,
+                };
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.prefetch_enabled = false;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.fpu.mul_pipelined = true;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.seed ^= 1;
+                c
+            },
+        ];
+        let mut fps: Vec<u64> = variants.iter().map(MachineConfig::fingerprint).collect();
+        fps.push(fp);
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b, "two distinct configs share a fingerprint");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let cfg = MachineModel::Large.config(IssueWidth::Single, LatencyModel::average_35());
+        assert_eq!(cfg.fingerprint(), cfg.clone().fingerprint());
     }
 
     #[test]

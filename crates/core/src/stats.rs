@@ -221,6 +221,53 @@ impl SimStats {
     }
 }
 
+impl SimStats {
+    /// Serializes every counter into a standalone snapshot image (the
+    /// same versioned `AURACKPT` container whole-machine checkpoints
+    /// use). This is the persistence format of the `aurora-serve` result
+    /// store: decoding with [`SimStats::from_snapshot_bytes`] reproduces
+    /// the struct bit for bit, so a memoised result is indistinguishable
+    /// from a fresh simulation.
+    ///
+    /// ```
+    /// use aurora_core::SimStats;
+    ///
+    /// let stats = SimStats { cycles: 150, instructions: 100, ..SimStats::default() };
+    /// let bytes = stats.to_snapshot_bytes();
+    /// assert_eq!(SimStats::from_snapshot_bytes(&bytes).unwrap(), stats);
+    /// ```
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.save(&mut w);
+        w.finish()
+    }
+
+    /// Decodes a [`SimStats::to_snapshot_bytes`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on a bad magic, a version mismatch,
+    /// truncation, or trailing bytes — arbitrary input can be fed in
+    /// safely, which is what the result store's corruption recovery
+    /// relies on.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<SimStats, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let mut stats = SimStats::default();
+        stats.restore(&mut r)?;
+        r.finish()?;
+        Ok(stats)
+    }
+
+    /// A stable fingerprint of the full statistics image — every counter,
+    /// not just the headline CPI. Equal fingerprints mean bit-identical
+    /// stats, which is how `aurora-serve` clients verify warm-path
+    /// answers against direct simulation without shipping every counter
+    /// over the wire.
+    pub fn fingerprint(&self) -> u64 {
+        aurora_isa::fnv1a(&self.to_snapshot_bytes())
+    }
+}
+
 impl Snapshot for SimStats {
     /// Every counter, in declaration order; the stall breakdown is keyed
     /// by [`StallKind::ALL`]'s order so the layout is stable even if the
@@ -360,6 +407,46 @@ mod tests {
         let row_cols = stats.csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
         assert!(stats.csv_row().starts_with("10,5,2.0000"));
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_bit_identically() {
+        let mut stats = SimStats {
+            cycles: 12345,
+            instructions: 6789,
+            fp_instructions: 42,
+            dual_issues: 7,
+            ..Default::default()
+        };
+        stats.stalls[StallKind::Load] = 99;
+        let bytes = stats.to_snapshot_bytes();
+        let back = SimStats::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.fingerprint(), stats.fingerprint());
+        // A different run fingerprint-differs.
+        let other = SimStats {
+            cycles: 12346,
+            ..stats.clone()
+        };
+        assert_ne!(other.fingerprint(), stats.fingerprint());
+    }
+
+    #[test]
+    fn snapshot_bytes_reject_corruption() {
+        let stats = SimStats {
+            cycles: 1,
+            instructions: 1,
+            ..Default::default()
+        };
+        let bytes = stats.to_snapshot_bytes();
+        // Truncated tail.
+        assert!(SimStats::from_snapshot_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SimStats::from_snapshot_bytes(&long).is_err());
+        // Not a snapshot at all.
+        assert!(SimStats::from_snapshot_bytes(b"junk").is_err());
     }
 
     #[test]

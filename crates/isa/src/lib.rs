@@ -24,7 +24,10 @@
 //!   input of the block-granular replay fast path,
 //! * [`Snapshot`] / [`SnapshotWriter`] / [`SnapshotReader`] — the
 //!   versioned binary checkpoint codec units use to freeze dynamic state
-//!   so a run can be saved, restored and resumed bit-identically.
+//!   so a run can be saved, restored and resumed bit-identically,
+//! * [`Fnv1a`] — the stable cross-process fingerprint hasher that keys
+//!   every content-addressed cache in the workspace (trace store, config
+//!   fingerprints, the `aurora-serve` result store).
 //!
 //! # Example
 //!
@@ -60,6 +63,7 @@ mod block;
 mod builder;
 mod codec;
 mod emu;
+mod fingerprint;
 mod instr;
 mod opcode;
 mod packed;
@@ -77,6 +81,7 @@ pub use block::{
 pub use builder::ProgramBuilder;
 pub use codec::TRACE_FORMAT_VERSION;
 pub use emu::{EmuError, Emulator, RunOutcome};
+pub use fingerprint::{fnv1a, Fnv1a};
 pub use instr::{DecodeError, Instruction};
 pub use opcode::{Opcode, OpcodeClass};
 pub use packed::{PackedOp, PackedTrace};

@@ -1,0 +1,146 @@
+//! The `aurora-query` client: builds (or forwards) a design-space query,
+//! sends it to a running `aurora-serve` daemon and prints the NDJSON
+//! response stream to stdout.
+//!
+//! ```text
+//! aurora-query (--unix PATH | --http ADDR)
+//!              [--json REQUEST]                     # raw request, or:
+//!              [--workloads a,b,...] [--models small,baseline,large]
+//!              [--issue single,dual] [--latency N] [--scale S] [--mode M]
+//! ```
+//!
+//! Without `--json`, a request grid is built as the cross product of
+//! `--models` × `--issue` (each at `--latency`). Exits non-zero if the
+//! stream ends in an error line or without a summary.
+
+use std::process::ExitCode;
+
+use aurora_serve::client;
+
+struct Args {
+    unix: Option<String>,
+    http: Option<String>,
+    json: Option<String>,
+    workloads: String,
+    models: String,
+    issue: String,
+    latency: u32,
+    scale: String,
+    mode: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        unix: None,
+        http: None,
+        json: None,
+        workloads: "espresso,compress".to_owned(),
+        models: "baseline".to_owned(),
+        issue: "dual".to_owned(),
+        latency: 17,
+        scale: "small".to_owned(),
+        mode: "block".to_owned(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--unix" => args.unix = Some(value("--unix")?),
+            "--http" => args.http = Some(value("--http")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--workloads" => args.workloads = value("--workloads")?,
+            "--models" => args.models = value("--models")?,
+            "--issue" => args.issue = value("--issue")?,
+            "--latency" => {
+                args.latency = value("--latency")?
+                    .parse()
+                    .map_err(|e| format!("--latency: {e}"))?;
+            }
+            "--scale" => args.scale = value("--scale")?,
+            "--mode" => args.mode = value("--mode")?,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_request(args: &Args) -> String {
+    if let Some(json) = &args.json {
+        return json.clone();
+    }
+    let configs: Vec<String> = args
+        .models
+        .split(',')
+        .flat_map(|model| {
+            args.issue.split(',').map(move |issue| {
+                format!(
+                    r#"{{"model": "{model}", "issue": "{issue}", "latency": {{"fixed": {}}}}}"#,
+                    args.latency
+                )
+            })
+        })
+        .collect();
+    let workloads: Vec<String> = args
+        .workloads
+        .split(',')
+        .map(|w| format!("\"{w}\""))
+        .collect();
+    format!(
+        r#"{{"configs": [{}], "workloads": [{}], "scale": "{}", "mode": "{}"}}"#,
+        configs.join(", "),
+        workloads.join(", "),
+        args.scale,
+        args.mode
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "usage: aurora-query (--unix PATH | --http ADDR) [--json REQ] \
+                 [--workloads a,b] [--models m1,m2] [--issue single,dual] \
+                 [--latency N] [--scale S] [--mode M]"
+            );
+            if e == "help" {
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("aurora-query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = build_request(&args);
+    let mut saw_summary = false;
+    let mut saw_error = false;
+    let mut on_line = |line: &str| {
+        println!("{line}");
+        match client::line_type(line).as_deref() {
+            Some("summary") => saw_summary = true,
+            Some("error") => saw_error = true,
+            _ => {}
+        }
+    };
+    let sent = match (&args.unix, &args.http) {
+        (Some(path), _) => client::query_unix(std::path::Path::new(path), &request, &mut on_line),
+        (None, Some(addr)) => client::query_http(addr, &request, &mut on_line),
+        (None, None) => {
+            eprintln!("aurora-query: one of --unix PATH / --http ADDR is required");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = sent {
+        eprintln!("aurora-query: {e}");
+        return ExitCode::FAILURE;
+    }
+    if saw_error || !saw_summary {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,94 @@
+//! The `aurora-serve` daemon: answers design-space queries over a unix
+//! socket and/or localhost HTTP, memoising every simulated cell in a
+//! persistent result store.
+//!
+//! ```text
+//! aurora-serve --store DIR [--unix PATH] [--http ADDR]
+//! ```
+//!
+//! At least one of `--unix`/`--http` is required. The process runs
+//! until killed; the store is crash-safe, so `SIGKILL` at any moment
+//! costs at most the cell being appended. See `docs/SERVICE.md`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use aurora_serve::{server, Engine, ResultStore};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store_dir = None;
+    let mut unix_path = None;
+    let mut http_addr = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_dir = it.next().cloned(),
+            "--unix" => unix_path = it.next().cloned(),
+            "--http" => http_addr = it.next().cloned(),
+            "--help" | "-h" => {
+                println!("usage: aurora-serve --store DIR [--unix PATH] [--http ADDR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("aurora-serve: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(store_dir) = store_dir else {
+        eprintln!("aurora-serve: --store DIR is required");
+        return ExitCode::FAILURE;
+    };
+    if unix_path.is_none() && http_addr.is_none() {
+        eprintln!("aurora-serve: at least one of --unix PATH / --http ADDR is required");
+        return ExitCode::FAILURE;
+    }
+
+    let store = match ResultStore::open(std::path::Path::new(&store_dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("aurora-serve: opening store `{store_dir}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "store: {} cells in {store_dir} ({} shard(s) rebuilt, {} damaged record(s) dropped)",
+        store.len(),
+        store.shards_rebuilt(),
+        store.records_recovered()
+    );
+    let engine = Arc::new(Engine::new(store));
+
+    let mut handles = Vec::new();
+    if let Some(path) = unix_path {
+        match server::spawn_unix(Arc::clone(&engine), std::path::Path::new(&path)) {
+            Ok(h) => {
+                println!("listening on unix socket {path}");
+                handles.push(h);
+            }
+            Err(e) => {
+                eprintln!("aurora-serve: binding unix socket `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(addr) = http_addr {
+        match server::spawn_http(Arc::clone(&engine), &addr) {
+            Ok((h, local)) => {
+                println!("listening on http://{local}");
+                handles.push(h);
+            }
+            Err(e) => {
+                eprintln!("aurora-serve: binding http `{addr}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Daemon mode: the accept loops own their threads; park forever.
+    // (Shutdown is SIGTERM/SIGKILL — the store is crash-safe by design.)
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,194 @@
+//! Service benchmark: measures cold and warm query latency, memo hit
+//! rate and achieved parallelism of the `aurora-serve` engine through a
+//! real unix-socket round trip, and cross-checks warm results against a
+//! direct `run_matrix` sweep by snapshot fingerprint.
+//!
+//! ```text
+//! serve_baseline [--scale test|small|full] [--out BENCH_serve.json]
+//! ```
+//!
+//! The store starts empty (cold pass = capture + simulate + append),
+//! then the identical query repeats warm (all cells memoised). Written
+//! as `BENCH_serve.json`; CI runs this at test scale and greps the
+//! invariants.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aurora_bench::harness::{run_matrix, scale_from_args, sweep_threads};
+use aurora_serve::json::Json;
+use aurora_serve::proto::QueryRequest;
+use aurora_serve::{client, server, Engine, ResultStore};
+use aurora_workloads::workload_by_name;
+
+/// One parsed NDJSON response: per-cell fingerprints plus the summary.
+#[derive(Default)]
+struct Reply {
+    /// `(config index, workload name) -> stats fingerprint hex string`.
+    fingerprints: Vec<((usize, String), String)>,
+    memo_hits: u64,
+    simulated: u64,
+    achieved_parallelism: f64,
+}
+
+fn parse_reply(lines: &[String]) -> Reply {
+    let mut reply = Reply::default();
+    for line in lines {
+        let v = Json::parse(line).expect("daemon emitted malformed JSON");
+        match v.get("type").and_then(Json::as_str) {
+            Some("cell") => {
+                let ci = v.get("config").and_then(Json::as_u64).expect("config") as usize;
+                let w = v.get("workload").and_then(Json::as_str).expect("workload");
+                let fp = v
+                    .get("stats")
+                    .and_then(|s| s.get("fingerprint"))
+                    .and_then(Json::as_str)
+                    .expect("fingerprint");
+                reply.fingerprints.push(((ci, w.to_owned()), fp.to_owned()));
+            }
+            Some("summary") => {
+                reply.memo_hits = v.get("memo_hits").and_then(Json::as_u64).unwrap_or(0);
+                reply.simulated = v.get("simulated").and_then(Json::as_u64).unwrap_or(0);
+                reply.achieved_parallelism = v
+                    .get("achieved_parallelism")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+            }
+            Some("error") => panic!("daemon answered an error: {line}"),
+            _ => panic!("unexpected response line: {line}"),
+        }
+    }
+    reply
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2).find(|p| p[0] == "--out").map_or_else(
+            || PathBuf::from("BENCH_serve.json"),
+            |p| PathBuf::from(&p[1]),
+        )
+    };
+
+    let pid = std::process::id();
+    let store_dir = PathBuf::from(format!("target/serve_baseline-{pid}"));
+    let socket = PathBuf::from(format!("target/serve_baseline-{pid}.sock"));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let engine = Arc::new(Engine::new(
+        ResultStore::open(&store_dir).expect("opening store"),
+    ));
+    let handle = server::spawn_unix(Arc::clone(&engine), &socket).expect("binding socket");
+
+    let request = format!(
+        r#"{{"configs": [{{"model": "baseline", "issue": "single", "latency": {{"fixed": 17}}}},
+                         {{"model": "baseline", "issue": "dual", "latency": {{"fixed": 17}}}}],
+            "workloads": ["espresso", "compress"], "scale": "{scale}", "mode": "block"}}"#
+    );
+    let query = |label: &str| {
+        let mut lines = Vec::new();
+        let t = Instant::now();
+        client::query_unix(&socket, &request, |line| lines.push(line.to_owned()))
+            .unwrap_or_else(|e| panic!("{label} query failed: {e}"));
+        (t.elapsed().as_secs_f64(), parse_reply(&lines))
+    };
+
+    // Cold: empty store — every cell captures (via the process-global
+    // trace store) and simulates.
+    let (cold_secs, cold) = query("cold");
+    assert_eq!(cold.simulated, 4, "cold pass must simulate the full grid");
+    assert_eq!(cold.memo_hits, 0);
+
+    // Warm: identical query, all four cells served from the memo.
+    // Min-of-5 for a stable latency figure.
+    let mut warm_secs = f64::INFINITY;
+    let mut warm = Reply::default();
+    for _ in 0..5 {
+        let (secs, reply) = query("warm");
+        assert_eq!(reply.memo_hits, 4, "warm pass must be all memo hits");
+        assert_eq!(reply.simulated, 0, "warm pass must not re-simulate");
+        warm_secs = warm_secs.min(secs);
+        warm = reply;
+    }
+    let warm_hit_rate = warm.memo_hits as f64 / 4.0;
+
+    // Cross-check: warm-path results must be bit-identical to a direct
+    // run_matrix sweep (compared via the SimStats snapshot fingerprint,
+    // which covers every counter).
+    let req = QueryRequest::from_json_str(&request).expect("own request parses");
+    let configs = req.machine_configs().expect("own configs resolve");
+    let workloads: Vec<_> = req
+        .workloads
+        .iter()
+        .map(|w| workload_by_name(w, scale).expect("known workload"))
+        .collect();
+    let direct = run_matrix(&configs, &workloads);
+    let mut bit_identical = true;
+    for ((ci, wname), fp) in &warm.fingerprints {
+        let wi = req
+            .workloads
+            .iter()
+            .position(|w| w == wname)
+            .expect("workload");
+        let expect = format!("{:#018x}", direct[*ci][wi].fingerprint());
+        if fp != &expect {
+            eprintln!("mismatch at config {ci} workload {wname}: {fp} != {expect}");
+            bit_identical = false;
+        }
+    }
+    assert!(
+        bit_identical,
+        "warm results diverged from direct run_matrix"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores > 1 {
+        assert!(
+            cold.achieved_parallelism > 1.0,
+            "multi-core host ({cores} cores) but cold drain achieved {:.3}x",
+            cold.achieved_parallelism
+        );
+    } else {
+        println!(
+            "warning: 1-core host; cold drain parallelism {:.3}x (assertion skipped)",
+            cold.achieved_parallelism
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"transport\": \"unix\",");
+    let _ = writeln!(json, "  \"grid_configs\": 2,");
+    let _ = writeln!(json, "  \"grid_workloads\": 2,");
+    let _ = writeln!(json, "  \"grid_cells\": 4,");
+    let _ = writeln!(json, "  \"cold_seconds\": {cold_secs:.6},");
+    let _ = writeln!(json, "  \"warm_seconds_min\": {warm_secs:.6},");
+    let _ = writeln!(
+        json,
+        "  \"cold_over_warm_speedup\": {:.1},",
+        cold_secs / warm_secs.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"cold_simulated\": {},", cold.simulated);
+    let _ = writeln!(json, "  \"warm_memo_hits\": {},", warm.memo_hits);
+    let _ = writeln!(json, "  \"warm_simulated\": {},", warm.simulated);
+    let _ = writeln!(json, "  \"warm_hit_rate\": {warm_hit_rate:.3},");
+    let _ = writeln!(json, "  \"pool_threads\": {},", sweep_threads(4));
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"achieved_parallelism\": {:.3},",
+        cold.achieved_parallelism
+    );
+    let _ = writeln!(json, "  \"memo_bit_identical\": {bit_identical}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("writing BENCH_serve.json");
+    print!("{json}");
+    println!("wrote {}", out_path.display());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -1,0 +1,125 @@
+//! Client helpers: send a query to a running daemon and stream the
+//! NDJSON response lines back through a callback. Used by the
+//! `aurora-query` binary, the service benchmark and the end-to-end
+//! tests; any language with sockets can reimplement this in a few lines
+//! (see `docs/SERVICE.md`).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// Sends `request_json` (one JSON document) over the unix socket at
+/// `path`, invoking `on_line` for each NDJSON response line until the
+/// server closes the stream.
+///
+/// # Errors
+///
+/// Returns connection or stream I/O errors. Protocol-level failures
+/// arrive as a response line with `"type": "error"`, not as an `Err`.
+pub fn query_unix(
+    path: &Path,
+    request_json: &str,
+    mut on_line: impl FnMut(&str),
+) -> io::Result<()> {
+    let mut stream = UnixStream::connect(path)?;
+    stream.write_all(request_json.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    for line in BufReader::new(stream).lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            on_line(&line);
+        }
+    }
+    Ok(())
+}
+
+/// Sends `request_json` as `POST /query` to the daemon at `addr`
+/// (e.g. `"127.0.0.1:7070"`), invoking `on_line` per NDJSON response
+/// line. The response body is close-delimited (`Connection: close`).
+///
+/// # Errors
+///
+/// Returns connection/stream I/O errors, or `InvalidData` if the server
+/// answers a non-200 status.
+pub fn query_http(addr: &str, request_json: &str, mut on_line: impl FnMut(&str)) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST /query HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{request_json}",
+        request_json.len()
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    if !status.contains("200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("server answered: {}", status.trim()),
+        ));
+    }
+    // Skip headers.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    for line in reader.lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            on_line(&line);
+        }
+    }
+    Ok(())
+}
+
+/// Fetches `GET /health` from the daemon at `addr`, returning the JSON
+/// body.
+///
+/// # Errors
+///
+/// Returns connection/stream I/O errors or `InvalidData` on a non-200
+/// status.
+pub fn health_http(addr: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET /health HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    if !status.contains("200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("server answered: {}", status.trim()),
+        ));
+    }
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    for line in reader.lines() {
+        body.push_str(&line?);
+    }
+    Ok(body)
+}
+
+/// The `"type"` field of a response line, if it parses as JSON
+/// (`"cell"`, `"summary"`, `"error"`).
+pub fn line_type(line: &str) -> Option<String> {
+    Json::parse(line)
+        .ok()?
+        .get("type")?
+        .as_str()
+        .map(str::to_owned)
+}

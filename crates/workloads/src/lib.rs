@@ -37,3 +37,30 @@ pub use floating::{FpBenchmark, FpLoadWidth};
 pub use integer::IntBenchmark;
 pub use store::TraceStore;
 pub use workload::{Scale, Trace, Workload, WorkloadError};
+
+/// Resolves a benchmark by its canonical name (`"espresso"`, `"alvinn"`,
+/// …) at the given scale, searching the integer suite then the
+/// floating-point suite. Returns `None` for an unknown name. This is the
+/// lookup the `aurora-serve` wire protocol uses to turn workload strings
+/// into kernels; floating-point benchmarks resolve to their default
+/// single-word-load variant.
+///
+/// ```
+/// use aurora_workloads::{workload_by_name, Scale};
+///
+/// let w = workload_by_name("compress", Scale::Test).unwrap();
+/// assert_eq!(w.name(), "compress");
+/// assert!(workload_by_name("no-such-kernel", Scale::Test).is_none());
+/// ```
+pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
+    IntBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .map(|b| b.workload(scale))
+        .or_else(|| {
+            FpBenchmark::ALL
+                .into_iter()
+                .find(|b| b.name() == name)
+                .map(|b| b.workload(scale))
+        })
+}

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use aurora_isa::{
-    Assembler, EmuError, Emulator, PackedTrace, Program, RunOutcome, TraceOp, TraceStats,
+    Assembler, EmuError, Emulator, Fnv1a, PackedTrace, Program, RunOutcome, TraceOp, TraceStats,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -207,30 +207,19 @@ impl Workload {
         h.write(&data.bytes);
         h.finish()
     }
-}
 
-/// Minimal 64-bit FNV-1a, enough to fingerprint program content without
-/// external dependencies.
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    fn new() -> Fnv1a {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_u32(&mut self, v: u32) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
+    /// A stable fingerprint of the *dynamic trace identity* of this
+    /// workload: kernel name, scale, and [`content_hash`]. Two workloads
+    /// with equal trace hashes replay the same packed trace, so memoised
+    /// per-trace results (the `aurora-serve` result store) key on this.
+    ///
+    /// [`content_hash`]: Workload::content_hash
+    pub fn trace_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(self.name);
+        h.write_str(&self.scale.to_string());
+        h.write_u64(self.content_hash());
+        h.finish()
     }
 }
 
@@ -329,6 +318,19 @@ mod tests {
                 assert!(v < 100);
             }
         }
+    }
+
+    #[test]
+    fn trace_hash_separates_name_scale_and_content() {
+        let a = Workload::assemble("k", Scale::Test, ".text\n nop\n break\n");
+        let same = Workload::assemble("k", Scale::Test, ".text\n nop\n break\n");
+        let other_scale = Workload::assemble("k", Scale::Small, ".text\n nop\n break\n");
+        let other_name = Workload::assemble("k2", Scale::Test, ".text\n nop\n break\n");
+        let other_body = Workload::assemble("k", Scale::Test, ".text\n nop\n nop\n break\n");
+        assert_eq!(a.trace_hash(), same.trace_hash());
+        assert_ne!(a.trace_hash(), other_scale.trace_hash());
+        assert_ne!(a.trace_hash(), other_name.trace_hash());
+        assert_ne!(a.trace_hash(), other_body.trace_hash());
     }
 
     #[test]
