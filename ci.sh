@@ -14,13 +14,13 @@ echo "== aurora-lint (workspace invariant gate, docs/LINTS.md) =="
 # non-zero exit fails CI.
 mkdir -p target/ci
 cargo run -q -p aurora-lint -- --format sarif --bench target/ci/BENCH_lint.json > lint.sarif
-# The semantic rules (dataflow, concurrency, checkpoint drift) must be
-# in the shipped catalogue — a SARIF without them means the gate
-# silently lost coverage.
-for rule in L010 L011 L012 L013 L014; do
+# The semantic rules (dataflow, concurrency, checkpoint drift, taint,
+# wire drift) must be in the shipped catalogue — a SARIF without them
+# means the gate silently lost coverage.
+for rule in L010 L011 L012 L013 L014 L015 L016; do
     grep -q "\"id\": \"$rule\"" lint.sarif
 done
-grep -q '"rules": 15' target/ci/BENCH_lint.json
+grep -q '"rules": 17' target/ci/BENCH_lint.json
 
 echo "== aurora-lint --fix --dry-run (shipped tree needs no mechanical fixes) =="
 cargo run -q -p aurora-lint -- --fix --dry-run 2>&1 >/dev/null | grep -q "0 edit(s) planned"

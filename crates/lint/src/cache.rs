@@ -15,11 +15,13 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use crate::dataflow::Interval;
 use crate::facts::{Access, CallFact, Event, FnFacts};
 use crate::lexer::FieldDef;
+use crate::summary::{DeepFacts, FnDeep, FnSummary};
 use crate::{FileAnalysis, Pragma};
 
-const MAGIC: &str = "aurora-lint-cache v3";
+const MAGIC: &str = "aurora-lint-cache v4";
 
 /// Identity of one file's content at analysis time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +92,16 @@ impl Cache {
 
     pub fn insert(&mut self, rel: String, stamp: Stamp, analysis: FileAnalysis) {
         self.entries.insert(rel, (stamp, analysis));
+    }
+
+    /// Attach freshly computed deep (interprocedural) facts to `rel`'s
+    /// entry. The deep phase runs after per-file analysis, so the entry
+    /// normally exists; a miss just means this file won't have a warm
+    /// deep cache next run.
+    pub fn set_deep(&mut self, rel: &str, deep: DeepFacts) {
+        if let Some((_, a)) = self.entries.get_mut(rel) {
+            a.deep = Some(deep);
+        }
     }
 
     /// Best-effort write; cache failures never fail the lint run.
@@ -268,6 +280,24 @@ fn render(cache: &Cache) -> String {
         for r in &a.facts.field_reads {
             out.push_str(&format!("r {}\n", enc(r)));
         }
+        for (write, wkey, line) in &a.facts.wire_keys {
+            out.push_str(&format!("w {} {} {line}\n", u8::from(*write), enc(wkey)));
+        }
+        if let Some(deep) = &a.deep {
+            out.push_str(&format!("deep {}\n", deep.dep_hash));
+            for fd in &deep.fns {
+                match fd.summary.ret {
+                    Some(iv) => {
+                        out.push_str(&format!("df {} {} {}", iv.lo, iv.hi, fd.summary.ret_taint))
+                    }
+                    None => out.push_str(&format!("df - - {}", fd.summary.ret_taint)),
+                }
+                for (what, line) in &fd.ariths {
+                    out.push_str(&format!(" {} {line}", enc(what)));
+                }
+                out.push('\n');
+            }
+        }
         for p in &a.pragmas {
             out.push_str(&format!(
                 "p {} {} {} {}\n",
@@ -445,6 +475,42 @@ fn parse(text: &str, key: u64) -> Option<Cache> {
                 toks.get(3)?.parse().ok()?,
             )),
             "r" => a.facts.field_reads.push(dec(toks.get(1)?)),
+            "w" => a.facts.wire_keys.push((
+                *toks.get(1)? == "1",
+                dec(toks.get(2)?),
+                toks.get(3)?.parse().ok()?,
+            )),
+            "deep" => {
+                a.deep = Some(DeepFacts {
+                    dep_hash: toks.get(1)?.parse().ok()?,
+                    fns: Vec::new(),
+                })
+            }
+            "df" => {
+                let deep = a.deep.as_mut()?;
+                let ret = if *toks.get(1)? == "-" {
+                    None
+                } else {
+                    Some(Interval {
+                        lo: toks.get(1)?.parse().ok()?,
+                        hi: toks.get(2)?.parse().ok()?,
+                    })
+                };
+                let ret_taint: u64 = toks.get(3)?.parse().ok()?;
+                let mut ariths = Vec::new();
+                let mut i = 4;
+                while i + 1 < toks.len() {
+                    ariths.push((dec(toks[i]), toks[i + 1].parse().ok()?));
+                    i += 2;
+                }
+                if i != toks.len() {
+                    return None;
+                }
+                deep.fns.push(FnDeep {
+                    summary: FnSummary { ret, ret_taint },
+                    ariths,
+                });
+            }
             "p" => {
                 let joined = dec(toks.get(4)?);
                 a.pragmas.push(Pragma {
@@ -494,7 +560,30 @@ mod tests {
 
     #[test]
     fn analysis_round_trips_through_the_line_format() {
-        let a = sample_analysis();
+        let mut a = sample_analysis();
+        a.facts
+            .wire_keys
+            .push((true, "total cycles".to_string(), 9));
+        a.facts.wire_keys.push((false, "cpi".to_string(), 14));
+        a.deep = Some(DeepFacts {
+            dep_hash: 0x1234_5678_9abc_def0,
+            fns: vec![
+                FnDeep {
+                    summary: FnSummary {
+                        ret: Some(Interval { lo: 0, hi: 4096 }),
+                        ret_taint: 0b101,
+                    },
+                    ariths: vec![("total_cycles * scale".to_string(), 8)],
+                },
+                FnDeep {
+                    summary: FnSummary {
+                        ret: None,
+                        ret_taint: 0,
+                    },
+                    ariths: Vec::new(),
+                },
+            ],
+        });
         let stamp = Stamp {
             mtime_s: 1754000000,
             mtime_ns: 123456789,
@@ -588,7 +677,7 @@ mod tests {
     #[test]
     fn garbage_and_version_mismatch_yield_empty() {
         assert!(parse("not a cache", 0).is_none());
-        assert!(parse("aurora-lint-cache v2\nkey 0\nfile x\n", 0).is_none());
+        assert!(parse("aurora-lint-cache v3\nkey 0\nfile x\n", 0).is_none());
     }
 
     #[test]

@@ -46,6 +46,20 @@ pub struct HotFile {
     pub roots: Vec<String>,
 }
 
+/// One `[[untrusted]]` entry: where attacker-controlled bytes enter, and
+/// which functions in the same file are trusted to bound them.
+#[derive(Debug, Clone, Default)]
+pub struct UntrustedFile {
+    pub file: String,
+    /// Source declarations: `"name"` or `"Type::name"`. The return value
+    /// (and the parameters) of each is attacker-controlled.
+    pub roots: Vec<String>,
+    /// Range-validated constructors: taint flows *into* these (so their
+    /// internal guards stay under analysis) but their return value is
+    /// clean — they reject out-of-range input instead of propagating it.
+    pub sanitizers: Vec<String>,
+}
+
 /// `[stats]` — where the counter structs live and where reads may come from.
 #[derive(Debug, Clone, Default)]
 pub struct StatsScope {
@@ -70,6 +84,24 @@ pub struct TraceFormat {
     pub struct_name: String,
     pub version_const: String,
     pub record: String,
+}
+
+/// One `[[wire]]` entry: a writer/reader function pair whose wire format
+/// must stay in sync (L016). `kind = "json"` checks that every key the
+/// readers look up is actually emitted by the writers; `kind = "record"`
+/// checks that the struct fields the writer serializes and the reader
+/// reconstructs are the same set.
+#[derive(Debug, Clone, Default)]
+pub struct WirePair {
+    /// `"json"` or `"record"`.
+    pub kind: String,
+    pub writer_file: String,
+    /// Writer functions, `"name"` or `"Type::name"`.
+    pub writers: Vec<String>,
+    pub reader_file: String,
+    pub readers: Vec<String>,
+    /// For `kind = "record"`: the structs whose fields travel on the wire.
+    pub structs: Vec<String>,
 }
 
 /// `[checkpoint]` — the writer/reader types whose appearance in a
@@ -106,6 +138,13 @@ pub struct LintConfig {
     pub determinism_files: Vec<String>,
     /// `[units] files`: path prefixes where L008 unit-mixing is checked.
     pub units_files: Vec<String>,
+    /// `[[untrusted]]` entries: functions whose return value (and, for
+    /// handlers, whose parameters) carry attacker-controlled bytes. The
+    /// taint pass (L015) seeds its worklist here.
+    pub untrusted: Vec<UntrustedFile>,
+    /// `[[wire]]` entries: writer/reader pairs checked for format drift
+    /// (L016).
+    pub wire: Vec<WirePair>,
 }
 
 #[derive(Debug)]
@@ -139,6 +178,10 @@ impl LintConfig {
                     cfg.hot.push(HotFile::default());
                 } else if section == "pool" {
                     cfg.pool.push(HotFile::default());
+                } else if section == "untrusted" {
+                    cfg.untrusted.push(UntrustedFile::default());
+                } else if section == "wire" {
+                    cfg.wire.push(WirePair::default());
                 }
                 continue;
             }
@@ -231,6 +274,73 @@ impl LintConfig {
                     .last_mut()
                     .ok_or_else(|| err("no [[pool]] entry open"))?;
                 entry.roots = want_list(&value)?;
+            }
+            ("untrusted", "file") => {
+                let entry = self
+                    .untrusted
+                    .last_mut()
+                    .ok_or_else(|| err("no [[untrusted]] entry open"))?;
+                entry.file = want_str(&value)?;
+            }
+            ("untrusted", "roots") => {
+                let entry = self
+                    .untrusted
+                    .last_mut()
+                    .ok_or_else(|| err("no [[untrusted]] entry open"))?;
+                entry.roots = want_list(&value)?;
+            }
+            ("untrusted", "sanitizers") => {
+                let entry = self
+                    .untrusted
+                    .last_mut()
+                    .ok_or_else(|| err("no [[untrusted]] entry open"))?;
+                entry.sanitizers = want_list(&value)?;
+            }
+            ("wire", "kind") => {
+                let entry = self
+                    .wire
+                    .last_mut()
+                    .ok_or_else(|| err("no [[wire]] entry open"))?;
+                let kind = want_str(&value)?;
+                if kind != "json" && kind != "record" {
+                    return Err(err("wire `kind` must be \"json\" or \"record\""));
+                }
+                entry.kind = kind;
+            }
+            ("wire", "writer_file") => {
+                let entry = self
+                    .wire
+                    .last_mut()
+                    .ok_or_else(|| err("no [[wire]] entry open"))?;
+                entry.writer_file = want_str(&value)?;
+            }
+            ("wire", "writers") => {
+                let entry = self
+                    .wire
+                    .last_mut()
+                    .ok_or_else(|| err("no [[wire]] entry open"))?;
+                entry.writers = want_list(&value)?;
+            }
+            ("wire", "reader_file") => {
+                let entry = self
+                    .wire
+                    .last_mut()
+                    .ok_or_else(|| err("no [[wire]] entry open"))?;
+                entry.reader_file = want_str(&value)?;
+            }
+            ("wire", "readers") => {
+                let entry = self
+                    .wire
+                    .last_mut()
+                    .ok_or_else(|| err("no [[wire]] entry open"))?;
+                entry.readers = want_list(&value)?;
+            }
+            ("wire", "structs") => {
+                let entry = self
+                    .wire
+                    .last_mut()
+                    .ok_or_else(|| err("no [[wire]] entry open"))?;
+                entry.structs = want_list(&value)?;
             }
             ("checkpoint", "writer") => self.checkpoint.writer = want_str(&value)?,
             ("checkpoint", "reader") => self.checkpoint.reader = want_str(&value)?,
@@ -434,6 +544,26 @@ files = ["crates/core/src/sim.rs"]
 
 [units]
 files = ["crates/core"]
+
+[[untrusted]]
+file = "crates/serve/src/json.rs"
+roots = ["Json::parse"]
+sanitizers = ["QueryRequest::from_json_str"]
+
+[[wire]]
+kind = "json"
+writer_file = "crates/serve/src/proto.rs"
+writers = ["ResponseLine::to_json"]
+reader_file = "crates/bench/src/bin/serve_baseline.rs"
+readers = ["read_response"]
+
+[[wire]]
+kind = "record"
+writer_file = "crates/serve/src/store.rs"
+writers = ["encode_payload"]
+reader_file = "crates/serve/src/store.rs"
+readers = ["decode_payload"]
+structs = ["SampledCell"]
 "##;
         let cfg = LintConfig::parse(text).unwrap();
         assert_eq!(cfg.exclude, vec!["target", "vendor"]);
@@ -450,6 +580,24 @@ files = ["crates/core"]
         assert_eq!(cfg.narrowing_files.len(), 1);
         assert_eq!(cfg.determinism_files, vec!["crates/core/src/sim.rs"]);
         assert_eq!(cfg.units_files, vec!["crates/core"]);
+        assert_eq!(cfg.untrusted.len(), 1);
+        assert_eq!(cfg.untrusted[0].roots, vec!["Json::parse"]);
+        assert_eq!(
+            cfg.untrusted[0].sanitizers,
+            vec!["QueryRequest::from_json_str"]
+        );
+        assert_eq!(cfg.wire.len(), 2);
+        assert_eq!(cfg.wire[0].kind, "json");
+        assert_eq!(cfg.wire[0].readers, vec!["read_response"]);
+        assert_eq!(cfg.wire[1].kind, "record");
+        assert_eq!(cfg.wire[1].structs, vec!["SampledCell"]);
+    }
+
+    #[test]
+    fn wire_kind_is_validated() {
+        let err = LintConfig::parse("[[wire]]\nkind = \"xml\"\n")
+            .expect_err("unsupported wire kinds must be rejected");
+        assert!(err.to_string().contains("json"), "{err}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ const ACCUM_TOP: Interval = Interval { lo: 0, hi: U64_MAX };
 const LEN_TOP: Interval = Interval { lo: 0, hi: 1 << 48 };
 
 impl Interval {
-    fn exact(v: i128) -> Interval {
+    pub fn exact(v: i128) -> Interval {
         Interval { lo: v, hi: v }
     }
 
@@ -86,7 +86,7 @@ impl Interval {
         }
     }
 
-    fn join(self, o: Interval) -> Interval {
+    pub fn join(self, o: Interval) -> Interval {
         Interval {
             lo: self.lo.min(o.lo),
             hi: self.hi.max(o.hi),
@@ -100,22 +100,100 @@ impl Interval {
 
 /// Analyze one function; returns `(description, line)` for every
 /// arithmetic op on a unit-named operand that could wrap a `u64`.
+/// Summary-free form: every call evaluates to `OPERAND_TOP`.
 pub fn arith_risks(f: &PFn) -> Vec<(String, u32)> {
-    let mut flow = Flow::default();
-    flow.visit_block(&f.body);
-    flow.risks
+    arith_risks_with(f, &|_, _| None).risks
 }
 
-#[derive(Default)]
-struct Flow {
+/// A callee-summary oracle: maps a call site's `(callee name, line)` to
+/// the joined return interval of its resolved targets, or `None` for "no
+/// summary" (the call evaluates to `OPERAND_TOP`, the summary-free model).
+pub type Oracle<'a> = &'a dyn Fn(&str, u32) -> Option<Interval>;
+
+/// Per-function result of the range analysis: the L010 risks plus the
+/// function's own return interval, which feeds the interprocedural
+/// summary fixpoint. `ret` is `None` when the function does not return a
+/// bare integer type or no return path could be bounded.
+pub struct FnFlow {
+    pub risks: Vec<(String, u32)>,
+    pub ret: Option<Interval>,
+}
+
+/// Like [`arith_risks`], but call results are refined through `oracle`
+/// and the function's own return interval is collected.
+pub fn arith_risks_with(f: &PFn, oracle: Oracle<'_>) -> FnFlow {
+    let mut flow = Flow::new(oracle);
+    // Walk the top-level statements without the usual block scope pop so
+    // the environment is still live when the tail expression is evaluated
+    // for the return summary.
+    for s in &f.body {
+        flow.visit_stmt(s);
+    }
+    let collect_ret = is_bare_int(&f.ret);
+    if collect_ret {
+        if let Some(Stmt::Expr(tail)) = f.body.last() {
+            if !matches!(tail, Expr::Return(_)) {
+                let iv = flow.eval(tail);
+                flow.note_ret(iv);
+            }
+        }
+    }
+    FnFlow {
+        risks: flow.risks,
+        ret: if collect_ret { flow.ret } else { None },
+    }
+}
+
+/// Return summaries are only collected for functions returning a bare
+/// integer: wrapped returns (`Option<u64>`, structs) evaluate to top at
+/// the caller anyway once unwrapped.
+fn is_bare_int(ty: &str) -> bool {
+    matches!(
+        ty,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+    )
+}
+
+struct Flow<'a> {
     /// Lexically scoped `name -> interval` for `let`-bound locals.
     env: Vec<(String, Interval)>,
     /// Order facts `lhs >= rhs` (textual keys) from dominating guards.
     facts: Vec<(String, String)>,
     risks: Vec<(String, u32)>,
+    /// Callee return summaries (interprocedural mode).
+    oracle: Oracle<'a>,
+    /// Join of every `return`/tail value seen so far. Joining values from
+    /// nested closures is a deliberate (sound, widening-only) imprecision.
+    ret: Option<Interval>,
 }
 
-impl Flow {
+impl<'a> Flow<'a> {
+    fn new(oracle: Oracle<'a>) -> Flow<'a> {
+        Flow {
+            env: Vec::new(),
+            facts: Vec::new(),
+            risks: Vec::new(),
+            oracle,
+            ret: None,
+        }
+    }
+
+    fn note_ret(&mut self, iv: Interval) {
+        self.ret = Some(match self.ret {
+            Some(prev) => prev.join(iv),
+            None => iv,
+        });
+    }
     fn lookup(&self, name: &str) -> Option<Interval> {
         self.env
             .iter()
@@ -305,6 +383,8 @@ impl Flow {
             Expr::Return(v) => {
                 if let Some(v) = v {
                     self.visit_expr(v);
+                    let iv = self.eval(v);
+                    self.note_ret(iv);
                 }
             }
             Expr::Range { lo, hi } => {
@@ -389,7 +469,10 @@ impl Flow {
                 }
             }
             Expr::MethodCall {
-                recv, name, args, ..
+                recv,
+                name,
+                args,
+                line,
             } => {
                 let r = self.eval(recv);
                 let a0 = args.first().map(|a| self.eval(a));
@@ -406,9 +489,16 @@ impl Flow {
                         hi: r.hi.max(a.hi),
                     },
                     ("len", _) => LEN_TOP,
-                    _ => OPERAND_TOP,
+                    _ => (self.oracle)(name, *line).unwrap_or(OPERAND_TOP),
                 }
             }
+            Expr::Call { callee, line, .. } => match callee.as_ref() {
+                Expr::Path { segs, .. } => segs
+                    .last()
+                    .and_then(|n| (self.oracle)(n, *line))
+                    .unwrap_or(OPERAND_TOP),
+                _ => OPERAND_TOP,
+            },
             Expr::Cast { expr, .. } => self.eval(expr).clamp_u64(),
             Expr::Unary(i) | Expr::MutBorrow(i) | Expr::Try(i) => self.eval(i),
             Expr::Block(b) => match b.last() {
@@ -671,7 +761,7 @@ mod tests {
             // Bind a probe so the final env can be checked through eval.
             src.push('}');
             let parsed = parse_file(&lex(&src));
-            let mut flow = Flow::default();
+            let mut flow = Flow::new(&|_, _| None);
             for (i, s) in parsed.fns[0].body.iter().enumerate() {
                 flow.visit_stmt(s);
                 let Stmt::Let(l) = s else { continue };
@@ -686,6 +776,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn callee_summary_bounds_a_call_and_ret_is_collected() {
+        let src = "fn t() -> u64 { let base_cycles = leaf_cycles(); base_cycles * 8 }";
+        let parsed = parse_file(&lex(src));
+        let bare = arith_risks_with(&parsed.fns[0], &|_, _| None);
+        assert_eq!(bare.risks.len(), 1, "summary-free call widens to top");
+        let oracle =
+            |name: &str, _line: u32| (name == "leaf_cycles").then_some(Interval { lo: 0, hi: 7 });
+        let with = arith_risks_with(&parsed.fns[0], &oracle);
+        assert!(with.risks.is_empty(), "{:?}", with.risks);
+        assert_eq!(with.ret, Some(Interval { lo: 0, hi: 56 }));
+    }
+
+    #[test]
+    fn return_statements_join_into_the_summary() {
+        let src = "fn t(n: u64) -> u64 { if n > 9 { return 100; } 3 }";
+        let parsed = parse_file(&lex(src));
+        let fl = arith_risks_with(&parsed.fns[0], &|_, _| None);
+        assert_eq!(fl.ret, Some(Interval { lo: 3, hi: 100 }));
     }
 
     #[test]

@@ -257,6 +257,9 @@ pub struct FileFacts {
     pub consts: Vec<(String, String, u32)>,
     /// Field names read (not assignment targets) anywhere in the file.
     pub field_reads: Vec<String>,
+    /// Wire-format key usage from the raw-source scan (L016):
+    /// `(is_write, key, line)` — see [`crate::lexer::wire_keys`].
+    pub wire_keys: Vec<(bool, String, u32)>,
 }
 
 /// Extract facts from a parsed file.
@@ -296,9 +299,10 @@ pub fn extract(
             }
         }
         ex.visit_block(&f.body);
-        for (what, line) in crate::dataflow::arith_risks(f) {
-            ex.out.events.push(Event::Arith { what, line });
-        }
+        // Note: `Event::Arith` is *not* produced here. L010's interval
+        // analysis consumes callee return summaries, so it runs in the
+        // interprocedural deep phase (`summary.rs`), which merges its
+        // events into the in-memory facts after the fixpoint.
         file.fns.push(ex.out);
     }
     reads.sort();

@@ -38,6 +38,8 @@ pub mod lexer;
 pub mod output;
 pub mod parser;
 pub mod rules;
+pub mod summary;
+pub mod taint;
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
@@ -91,21 +93,26 @@ pub struct FileAnalysis {
     pub pragmas: Vec<Pragma>,
     /// Lines carrying a `// lint:extern` marker.
     pub externs: Vec<u32>,
+    /// Interprocedural results, valid for the dependency hash they
+    /// carry. `None` until the deep phase has run for this file.
+    pub deep: Option<summary::DeepFacts>,
 }
 
 /// Lex, parse and extract facts from one file's source.
 pub fn analyze_source(src: &str) -> FileAnalysis {
     let toks = lexer::lex(src);
     let parsed = parser::parse_file(&toks);
-    let facts = facts::extract(
+    let mut facts = facts::extract(
         &parsed.fns,
         lexer::all_structs(&toks),
         lexer::numeric_consts(&toks),
     );
+    facts.wire_keys = lexer::wire_keys(src);
     FileAnalysis {
         facts,
         pragmas: scan_pragmas(src),
         externs: scan_externs(src),
+        deep: None,
     }
 }
 
@@ -118,6 +125,15 @@ pub struct Workspace {
     pub pragmas: Vec<Vec<Pragma>>,
     /// Index-aligned with `files`.
     pub externs: Vec<Vec<u32>>,
+    /// Raw source text, index-aligned with `files` — the deep phase
+    /// re-parses function bodies from it.
+    pub srcs: Vec<String>,
+    /// Cached interprocedural results, index-aligned with `files`;
+    /// refreshed in place by [`summary::deep_phase`].
+    pub deeps: Vec<Option<summary::DeepFacts>>,
+    /// L015 findings produced by the taint worklist: `(file, line,
+    /// message)`. Always recomputed fresh — see [`summary`].
+    pub taints: Vec<(String, u32, String)>,
     /// Files served from the incremental cache when loading.
     pub cache_hits: usize,
 }
@@ -156,9 +172,10 @@ pub fn analyze(root: &Path) -> Result<Report, String> {
 pub fn analyze_with(
     root: &Path,
     cfg: &LintConfig,
-    cache: Option<&mut Cache>,
+    mut cache: Option<&mut Cache>,
 ) -> Result<Report, String> {
-    let ws = load_workspace_cached(root, cfg, cache)?;
+    let mut ws = load_workspace_cached(root, cfg, cache.as_deref_mut())?;
+    summary::deep_phase(&mut ws, cfg, cache);
     let raw = rules::run_all(&ws, cfg);
     Ok(apply_pragmas(&ws, raw))
 }
@@ -180,6 +197,7 @@ pub fn load_workspace_cached(
     collect_rs(root, root, &cfg.exclude, &mut paths)?;
     let mut done: Vec<(String, FileAnalysis)> = Vec::new();
     let mut jobs: Vec<(String, String, cache::Stamp)> = Vec::new();
+    let mut src_of: std::collections::HashMap<String, String> = std::collections::HashMap::new();
     for path in paths {
         let rel = rel_path(root, &path);
         let src = std::fs::read_to_string(&path)
@@ -187,10 +205,12 @@ pub fn load_workspace_cached(
         let stamp = cache::Stamp::of(&path, &src);
         if let Some(c) = cache.as_deref_mut() {
             if let Some(hit) = c.lookup(&rel, &stamp) {
+                src_of.insert(rel.clone(), src);
                 done.push((rel, hit));
                 continue;
             }
         }
+        src_of.insert(rel.clone(), src.clone());
         jobs.push((rel, src, stamp));
     }
     let cache_hits = done.len();
@@ -207,12 +227,17 @@ pub fn load_workspace_cached(
         files: Vec::with_capacity(done.len()),
         pragmas: Vec::with_capacity(done.len()),
         externs: Vec::with_capacity(done.len()),
+        srcs: Vec::with_capacity(done.len()),
+        deeps: Vec::with_capacity(done.len()),
+        taints: Vec::new(),
         cache_hits,
     };
     for (rel, a) in done {
+        ws.srcs.push(src_of.remove(&rel).unwrap_or_default());
         ws.files.push((rel, a.facts));
         ws.pragmas.push(a.pragmas);
         ws.externs.push(a.externs);
+        ws.deeps.push(a.deep);
     }
     Ok(ws)
 }

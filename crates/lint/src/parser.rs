@@ -1386,7 +1386,10 @@ impl<'t> Parser<'t> {
                     self.pos += 1;
                     return args;
                 }
-                Some(t) if t.is_punct(",") => {
+                // `;` separates the element and count of `vec![elem; n]`
+                // (and array repeats) — treat it like a comma so the
+                // count lands in its own argument slot.
+                Some(t) if t.is_punct(",") || t.is_punct(";") => {
                     self.pos += 1;
                 }
                 _ => {

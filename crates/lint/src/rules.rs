@@ -5,13 +5,13 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::config::LintConfig;
-use crate::facts::{CallFact, Event, FnFacts, NARROW_TARGETS};
+use crate::facts::{CallFact, Event, FileFacts, FnFacts, NARROW_TARGETS};
 use crate::graph::{head, path_matches, peel_refs, FnId, Graph};
 use crate::{Finding, Workspace};
 
 /// Bumped whenever a rule's semantics change: folded into the incremental
 /// cache key so upgrading the analyzer invalidates cached verdicts.
-pub const RULE_SET_VERSION: u64 = 3;
+pub const RULE_SET_VERSION: u64 = 4;
 
 pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Finding> {
     let graph = Graph::new(&ws.files, ws.extern_lines());
@@ -25,6 +25,8 @@ pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Finding> {
     unit_mixing(ws, cfg, &mut out);
     crate::concurrency::run(ws, cfg, &graph, &mut out);
     checkpoint_drift(ws, cfg, &mut out);
+    untrusted_flows(ws, cfg, &graph, &mut out);
+    wire_drift(ws, cfg, &mut out);
     out
 }
 
@@ -725,6 +727,214 @@ fn checkpoint_drift(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
     }
 }
 
+// -------------------------------------------------------------------- L015
+
+/// L015: package the taint pass's findings. The flow analysis itself runs
+/// in the deep phase (`summary.rs`) because it needs parsed bodies, which
+/// the rule engine does not keep; here we only re-emit its results and
+/// report `[[untrusted]]` config drift the same way L001 does for [[hot]].
+fn untrusted_flows(ws: &Workspace, cfg: &LintConfig, g: &Graph, out: &mut Vec<Finding>) {
+    for u in &cfg.untrusted {
+        if !ws.files.iter().any(|(rel, _)| path_matches(rel, &u.file)) {
+            out.push(finding(
+                &u.file,
+                0,
+                "L015",
+                "untrusted file declared in lint.toml was not found in the workspace".to_string(),
+            ));
+            continue;
+        }
+        for root in &u.roots {
+            if g.find_root(&u.file, root).is_empty() {
+                out.push(finding(
+                    &u.file,
+                    0,
+                    "L015",
+                    format!(
+                        "untrusted root `{root}` declared in lint.toml does not exist in this \
+                         file — update lint.toml"
+                    ),
+                ));
+            }
+        }
+    }
+    for (file, line, msg) in &ws.taints {
+        out.push(finding(file, *line, "L015", msg.clone()));
+    }
+}
+
+// -------------------------------------------------------------------- L016
+
+/// Match a `"name"` / `"Type::name"` spec from lint.toml against one fn.
+fn fn_spec_matches(f: &FnFacts, spec: &str) -> bool {
+    match spec.split_once("::") {
+        Some((ty, name)) => f.self_ty == ty && f.name == name,
+        None => f.name == spec,
+    }
+}
+
+/// Wire keys of one polarity used inside the named functions of a file.
+fn keys_in_fns(facts: &FileFacts, specs: &[String], write: bool) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for f in facts
+        .fns
+        .iter()
+        .filter(|f| specs.iter().any(|s| fn_spec_matches(f, s)))
+    {
+        for (w, key, line) in &facts.wire_keys {
+            if *w == write && *line >= f.decl_line && *line <= f.end_line {
+                out.push((key.clone(), *line));
+            }
+        }
+    }
+    out
+}
+
+/// L016: writer/reader wire-format drift. For `kind = "json"` every key
+/// the readers look up must be emitted by some writer; for `kind =
+/// "record"` the struct fields the writer serializes (reads) and the
+/// reader reconstructs (writes through a struct literal) must be the
+/// same set. The json direction is deliberately one-sided — writers may
+/// emit keys a particular reader ignores — while the record check is
+/// symmetric because a length-prefixed binary record has no way to skip
+/// a field it does not understand.
+fn wire_drift(ws: &Workspace, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    for pair in &cfg.wire {
+        let writer = ws.facts_of(&pair.writer_file);
+        let reader = ws.facts_of(&pair.reader_file);
+        for (file, facts) in [(&pair.writer_file, writer), (&pair.reader_file, reader)] {
+            if facts.is_none() {
+                out.push(finding(
+                    file,
+                    0,
+                    "L016",
+                    "wire file declared in lint.toml was not found in the workspace".to_string(),
+                ));
+            }
+        }
+        let (Some(writer), Some(reader)) = (writer, reader) else {
+            continue;
+        };
+        for (file, facts, specs) in [
+            (&pair.writer_file, writer, &pair.writers),
+            (&pair.reader_file, reader, &pair.readers),
+        ] {
+            for spec in specs.iter() {
+                if !facts.fns.iter().any(|f| fn_spec_matches(f, spec)) {
+                    out.push(finding(
+                        file,
+                        0,
+                        "L016",
+                        format!(
+                            "wire function `{spec}` declared in lint.toml was not found — \
+                             update lint.toml"
+                        ),
+                    ));
+                }
+            }
+        }
+        match pair.kind.as_str() {
+            "json" => {
+                let written: HashSet<String> = keys_in_fns(writer, &pair.writers, true)
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                let mut reads = keys_in_fns(reader, &pair.readers, false);
+                reads.sort();
+                reads.dedup();
+                for (key, line) in reads {
+                    if !written.contains(&key) {
+                        out.push(finding(
+                            &pair.reader_file,
+                            line,
+                            "L016",
+                            format!(
+                                "wire-format drift: reader looks up key `\"{key}\"` that no \
+                                 writer in `{}` ever emits — the lookup will always miss",
+                                pair.writer_file
+                            ),
+                        ));
+                    }
+                }
+            }
+            "record" => {
+                let wfns: Vec<&FnFacts> = writer
+                    .fns
+                    .iter()
+                    .filter(|f| pair.writers.iter().any(|s| fn_spec_matches(f, s)))
+                    .collect();
+                let rfns: Vec<&FnFacts> = reader
+                    .fns
+                    .iter()
+                    .filter(|f| pair.readers.iter().any(|s| fn_spec_matches(f, s)))
+                    .collect();
+                let serialized: HashSet<&str> = wfns
+                    .iter()
+                    .flat_map(|f| f.accesses.iter())
+                    .map(|a| a.field.as_str())
+                    .collect();
+                for sname in &pair.structs {
+                    let def = [(&pair.writer_file, writer), (&pair.reader_file, reader)]
+                        .into_iter()
+                        .find_map(|(file, facts)| {
+                            facts
+                                .structs
+                                .iter()
+                                .find(|(n, _, _)| n == sname)
+                                .map(|s| (file, s))
+                        });
+                    let Some((def_file, (_, _, fdefs))) = def else {
+                        out.push(finding(
+                            &pair.writer_file,
+                            0,
+                            "L016",
+                            format!(
+                                "wire struct `{sname}` declared in lint.toml was not found in \
+                                 the writer or reader file — update lint.toml"
+                            ),
+                        ));
+                        continue;
+                    };
+                    let lit_chain = format!("t:{sname}");
+                    let reconstructed: HashSet<&str> = rfns
+                        .iter()
+                        .flat_map(|f| f.accesses.iter())
+                        .filter(|a| a.write && a.chain == lit_chain)
+                        .map(|a| a.field.as_str())
+                        .collect();
+                    for fd in fdefs {
+                        let name = fd.name.as_str();
+                        if serialized.contains(name) && !reconstructed.contains(name) {
+                            out.push(finding(
+                                def_file,
+                                fd.line,
+                                "L016",
+                                format!(
+                                    "wire-format drift in `{sname}`: `{name}` is serialized \
+                                     by the writer but the reader never reconstructs it — \
+                                     decoded records silently drop the field"
+                                ),
+                            ));
+                        } else if reconstructed.contains(name) && !serialized.contains(name) {
+                            out.push(finding(
+                                def_file,
+                                fd.line,
+                                "L016",
+                                format!(
+                                    "wire-format drift in `{sname}`: the reader fills `{name}` \
+                                     but the writer never serializes it — the value is invented \
+                                     at decode time, not carried on the wire"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 // ----------------------------------------------------------------- explain
 
 pub const RULES: &[(&str, &str, &str)] = &[
@@ -893,6 +1103,36 @@ pub const RULES: &[(&str, &str, &str)] = &[
          state), and deliberately uncheckpointed diagnostics belong in a named helper \
          called outside restore, not in the restore body — see the checkpoint codec \
          checklist in docs/LINTS.md.",
+    ),
+    (
+        "L015",
+        "untrusted data reaches an allocation or indexing sink unsanitized",
+        "Functions declared under lint.toml's [[untrusted]] sections return (or receive, for \
+         handlers) attacker-controlled bytes: socket reads and the JSON/protocol parse entry \
+         points. A workspace-wide taint pass follows those values through locals, struct \
+         construction, returns, and call edges — each function gets a parameter-to-return \
+         flow summary, so taint crosses function boundaries in both directions — and fires \
+         when a tainted value reaches a *size-shaped* sink with no dominating sanitizer: \
+         `with_capacity`/`reserve` amounts, `vec![_; n]` lengths, slice indices, loop bounds, \
+         and multiplications of two tainted magnitudes (cell-count arithmetic). Sanitizers \
+         are comparisons against a limit that exit the tainted path, `.min(..)`/`.clamp(..)`, \
+         and validated constructors (`x.validate()?`). The diagnostic names the source: the \
+         declared root, or the call chain the taint rode in on. Fix by bounding the value \
+         where it enters, not by suppressing the sink.",
+    ),
+    (
+        "L016",
+        "wire-format drift between a writer/reader pair",
+        "Each [[wire]] pair in lint.toml names writer and reader functions that must agree on \
+         a wire format, the way L014's save/restore check works for the Snapshot codec. \
+         `kind = \"json\"` cross-checks string keys: every key a reader looks up \
+         (`get`/`remove`/`contains_key`) must be emitted by some writer — a misspelled or \
+         renamed key otherwise fails silently at the first decode. `kind = \"record\"` \
+         cross-checks binary record layouts field-by-field: the struct fields the writer \
+         serializes and the fields the reader's struct literal reconstructs must be the same \
+         set, because a length-prefixed record cannot skip a field it does not understand. \
+         The json direction is one-sided by design (writers may emit keys a given reader \
+         ignores); the record check is symmetric.",
     ),
 ];
 

@@ -42,3 +42,34 @@ fn headroom_add(a_cycles: u64, b_cycles: u64) -> u64 {
 fn saturating_tally(t: &mut Tally, stall_cycles: u64) {
     t.total_cycles = t.total_cycles.saturating_add(stall_cycles);
 }
+
+// Interprocedural: the sentinel constant is two calls away. A summary-
+// free analysis would give `relay_cycles()` the one-shot unknown range
+// [0, 2^62] and call the add safe by headroom; the callee summary
+// carries u64::MAX through the relay and the add fires.
+fn sentinel_cycles() -> u64 {
+    18_446_744_073_709_551_615 // the "no next event" sentinel
+}
+
+fn relay_cycles() -> u64 {
+    sentinel_cycles()
+}
+
+fn sentinel_add(base_cycles: u64) -> u64 {
+    relay_cycles() + base_cycles // FIRE: L010 (sentinel via two calls)
+}
+
+// Silent decoy, same two-call shape: without summaries this unknown ×
+// unknown product would fire exactly like `unchecked_product`; the
+// callee summary [3, 3] bounds it under u64::MAX.
+fn issue_width_count() -> u64 {
+    3
+}
+
+fn relay_width_count() -> u64 {
+    issue_width_count()
+}
+
+fn bounded_chain_product(op_count: u64) -> u64 {
+    relay_width_count() * op_count
+}

@@ -1,0 +1,44 @@
+//! Fixture for L015: untrusted lengths reaching allocation sinks.
+//!
+//! `parse_len` is declared an `[[untrusted]]` root in lint.toml — it is
+//! the fixture's stand-in for a wire-format length field. Anything
+//! derived from its return value is tainted until a dominating bound
+//! (`.min`, `.clamp`, an early-return guard) caps its magnitude.
+
+const MAX_FRAME: usize = 4096;
+
+/// The untrusted root: pulls a length out of a raw frame.
+fn parse_len(frame: &[u8]) -> usize {
+    frame.len()
+}
+
+/// Tainted length straight into an allocation — fires.
+fn ingest(frame: &[u8]) -> Vec<u64> {
+    let n = parse_len(frame);
+    Vec::with_capacity(n) // FIRE: L015
+}
+
+/// Same shape, but the length is clamped first — silent.
+fn ingest_clamped(frame: &[u8]) -> Vec<u64> {
+    let n = parse_len(frame).min(MAX_FRAME);
+    Vec::with_capacity(n)
+}
+
+/// Guard-style sanitizer: the branch rejects oversize input — silent.
+fn ingest_checked(frame: &[u8]) -> Vec<u64> {
+    let n = parse_len(frame);
+    if n > MAX_FRAME {
+        return Vec::new();
+    }
+    Vec::with_capacity(n)
+}
+
+/// The taint survives a call boundary: `build_table` never sees the
+/// root directly, only an argument its caller derived from it.
+fn build_table(entry_count: usize) -> Vec<u64> {
+    vec![0u64; entry_count] // FIRE: L015
+}
+
+fn ingest_indirect(frame: &[u8]) -> Vec<u64> {
+    build_table(parse_len(frame))
+}

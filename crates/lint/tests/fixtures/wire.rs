@@ -1,0 +1,54 @@
+//! Fixture for L016: wire-format drift between writer/reader pairs.
+//!
+//! Two seeded mismatches, one per pair kind:
+//!
+//! * **json** — `read_status` looks up `"stall_count"` but the writer
+//!   emits `"stalls"`; the lookup can never hit.
+//! * **record** — `Frame::flags` is serialized but never reconstructed
+//!   (the decode-side struct literal hides it behind `..`), and
+//!   `Frame::padding` is filled at decode time without ever having been
+//!   written.
+
+use std::collections::BTreeMap;
+
+struct Frame {
+    cycles: u64,
+    flags: u32,   // FIRE: L016
+    padding: u32, // FIRE: L016
+}
+
+impl Frame {
+    fn empty() -> Frame {
+        Frame {
+            cycles: 0,
+            flags: 0,
+            padding: 0,
+        }
+    }
+}
+
+fn write_status(out: &mut BTreeMap<String, u64>, cycles: u64, stalls: u64) {
+    out.insert("cycles".to_string(), cycles);
+    out.insert("stalls".to_string(), stalls);
+}
+
+fn read_status(m: &BTreeMap<String, u64>) -> (u64, u64) {
+    let cycles = m.get("cycles").copied().unwrap_or(0);
+    let stalls = m.get("stall_count").copied().unwrap_or(0); // FIRE: L016
+    (cycles, stalls)
+}
+
+fn encode_frame(f: &Frame, out: &mut Vec<u8>) {
+    out.extend_from_slice(&f.cycles.to_le_bytes());
+    out.extend_from_slice(&f.flags.to_le_bytes());
+}
+
+fn decode_frame(bytes: &[u8]) -> Frame {
+    let mut c = [0u8; 8];
+    c.copy_from_slice(&bytes[..8]);
+    Frame {
+        cycles: u64::from_le_bytes(c),
+        padding: 1,
+        ..Frame::empty()
+    }
+}

@@ -64,7 +64,7 @@ fn every_rule_fires_exactly_where_marked() {
     // Every rule — including the pragma-hygiene rules — is represented.
     for rule in [
         "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
-        "L011", "L012", "L013", "L014",
+        "L011", "L012", "L013", "L014", "L015", "L016",
     ] {
         assert!(
             expected.iter().any(|(_, _, r)| r == rule),

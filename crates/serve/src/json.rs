@@ -69,6 +69,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -193,9 +194,15 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")
 }
 
+/// Deepest container nesting the parser will follow. The protocol needs
+/// four or five levels; the cap exists so a `[[[[...` bomb exhausts this
+/// counter, not the thread's stack (the parser recurses per level).
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -240,8 +247,8 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Parser::object),
+            Some(b'[') => self.nested(Parser::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.eat_literal("true", Json::Bool(true)),
             Some(b'f') => self.eat_literal("false", Json::Bool(false)),
@@ -250,6 +257,19 @@ impl Parser<'_> {
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("document nests deeper than 64 levels"));
+        }
+        let v = inner(self)?;
+        self.depth -= 1;
+        Ok(v)
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
@@ -449,6 +469,18 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nests deeper"), "{err}");
+        let mixed = "{\"a\":".repeat(100_000);
+        assert!(Json::parse(&mixed).is_err());
+        // Shallow documents are unaffected.
+        let ok = format!("{}1{}", "[".repeat(60), "]".repeat(60));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

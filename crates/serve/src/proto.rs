@@ -31,6 +31,21 @@ use aurora_workloads::Scale;
 use crate::json::{obj, Json};
 use crate::store::Mode;
 
+/// Hard cap on a request body, shared by both transports. A query
+/// document is small; anything near this size is malformed or hostile.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Hard cap on the `configs` axis of one request grid.
+pub const MAX_CONFIGS_PER_QUERY: usize = 512;
+
+/// Hard cap on the `workloads` axis of one request grid.
+pub const MAX_WORKLOADS_PER_QUERY: usize = 64;
+
+/// Hard cap on the grid itself (`configs × workloads`). The per-axis
+/// caps alone would admit a 32k-cell request; this is the budget a
+/// single connection may ask the engine to simulate.
+pub const MAX_CELLS_PER_QUERY: usize = 4096;
+
 /// A malformed or unsatisfiable request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtoError(pub String);
@@ -248,6 +263,14 @@ impl QueryRequest {
         let Some(config_list) = v.get("configs").and_then(Json::as_array) else {
             return perr("request needs a non-empty `configs` array");
         };
+        // Axis caps come before anything derives a size from the lists:
+        // these lengths are attacker-controlled until this point.
+        if config_list.len() > MAX_CONFIGS_PER_QUERY {
+            return perr(format!(
+                "`configs` lists {} entries; the limit is {MAX_CONFIGS_PER_QUERY}",
+                config_list.len()
+            ));
+        }
         let configs = config_list
             .iter()
             .map(ConfigSpec::from_json)
@@ -258,6 +281,12 @@ impl QueryRequest {
         let Some(workload_list) = v.get("workloads").and_then(Json::as_array) else {
             return perr("request needs a non-empty `workloads` array");
         };
+        if workload_list.len() > MAX_WORKLOADS_PER_QUERY {
+            return perr(format!(
+                "`workloads` lists {} entries; the limit is {MAX_WORKLOADS_PER_QUERY}",
+                workload_list.len()
+            ));
+        }
         let workloads = workload_list
             .iter()
             .map(|w| {
@@ -268,6 +297,15 @@ impl QueryRequest {
             .collect::<Result<Vec<_>, _>>()?;
         if workloads.is_empty() {
             return perr("`workloads` must not be empty");
+        }
+        let cells = configs.len().saturating_mul(workloads.len());
+        if cells > MAX_CELLS_PER_QUERY {
+            return perr(format!(
+                "request names {cells} grid cells ({} configs x {} workloads); the limit \
+                 is {MAX_CELLS_PER_QUERY}",
+                configs.len(),
+                workloads.len()
+            ));
         }
         let scale = match v.get("scale").and_then(Json::as_str).unwrap_or("small") {
             "test" => Scale::Test,
@@ -529,6 +567,43 @@ mod tests {
             let err = QueryRequest::from_json_str(src).unwrap_err();
             assert!(err.0.contains(needle), "{src} -> {err}");
         }
+    }
+
+    #[test]
+    fn oversized_grids_are_rejected_at_parse_time() {
+        let many_configs = vec!["{}"; MAX_CONFIGS_PER_QUERY + 1].join(",");
+        let src = format!(r#"{{"configs": [{many_configs}], "workloads": ["a"]}}"#);
+        let err = QueryRequest::from_json_str(&src).unwrap_err();
+        assert!(err.0.contains("limit"), "{err}");
+        assert!(err.0.contains("configs"), "{err}");
+
+        let many_workloads: Vec<String> = (0..=MAX_WORKLOADS_PER_QUERY)
+            .map(|i| format!("\"w{i}\""))
+            .collect();
+        let src = format!(
+            r#"{{"configs": [{{}}], "workloads": [{}]}}"#,
+            many_workloads.join(",")
+        );
+        let err = QueryRequest::from_json_str(&src).unwrap_err();
+        assert!(err.0.contains("limit"), "{err}");
+        assert!(err.0.contains("workloads"), "{err}");
+
+        // Each axis within its cap, but the grid product over budget.
+        let configs = vec!["{}"; 256].join(",");
+        let workloads: Vec<String> = (0..32).map(|i| format!("\"w{i}\"")).collect();
+        let src = format!(
+            r#"{{"configs": [{configs}], "workloads": [{}]}}"#,
+            workloads.join(",")
+        );
+        let err = QueryRequest::from_json_str(&src).unwrap_err();
+        assert!(err.0.contains("grid cells"), "{err}");
+
+        // At the caps exactly, the request parses.
+        let src = format!(
+            r#"{{"configs": [{}], "workloads": ["a"]}}"#,
+            vec!["{}"; MAX_CONFIGS_PER_QUERY].join(",")
+        );
+        assert!(QueryRequest::from_json_str(&src).is_ok());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::engine::Engine;
-use crate::proto::{QueryRequest, ResponseLine};
+use crate::proto::{QueryRequest, ResponseLine, MAX_BODY_BYTES};
 
 /// A running server: the accept loop lives on a background thread until
 /// [`shutdown`](ServerHandle::shutdown).
@@ -155,7 +155,7 @@ fn handle_unix(engine: &Engine, stream: UnixStream) {
     // the request. Bounded read — a query document is small.
     let mut request = String::new();
     if BufReader::new(read_half)
-        .take(1 << 20)
+        .take(MAX_BODY_BYTES as u64)
         .read_to_string(&mut request)
         .is_err()
         || request.trim().is_empty()
@@ -216,7 +216,7 @@ fn handle_http(engine: &Engine, stream: TcpStream) {
         ("POST", "/query") => {
             // Cap request bodies: a query document is small, and an
             // absurd Content-Length must not drive an allocation.
-            if content_length > 1 << 20 {
+            if content_length > MAX_BODY_BYTES {
                 let _ = write!(
                     writer,
                     "HTTP/1.1 413 Payload Too Large\r\nConnection: close\r\n\r\n"

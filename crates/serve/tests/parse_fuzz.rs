@@ -1,0 +1,164 @@
+//! No-panic property suite for the untrusted parse boundary.
+//!
+//! Everything a socket can deliver flows through [`Json::parse`] and
+//! [`QueryRequest::from_json_str`] before it touches the engine, so
+//! those two functions carry the service's no-panic obligation: any
+//! byte sequence must come back as `Ok` or a structured error — never a
+//! panic, and never an `Ok` that smuggles an unbounded size past the
+//! protocol caps (the static side of the same contract is aurora-lint's
+//! L015).
+//!
+//! The corpus is adversarial rather than uniform: valid requests are
+//! truncated at every kind of boundary, bit-flipped, spliced with
+//! garbage, and nested past any sane depth. A fixed seed keeps failures
+//! reproducible; the case count (10k+ per shape) is sized to keep the
+//! suite under a second.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use aurora_serve::json::Json;
+use aurora_serve::proto::{
+    QueryRequest, MAX_CELLS_PER_QUERY, MAX_CONFIGS_PER_QUERY, MAX_WORKLOADS_PER_QUERY,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed documents covering every protocol shape the parser knows.
+const SEEDS: &[&str] = &[
+    r#"{"configs": [{}], "workloads": ["espresso"]}"#,
+    r#"{"configs": [{"model": "small", "issue": "single", "latency": {"fixed": 17}}],
+        "workloads": ["compress", "li"], "scale": "test", "mode": "block"}"#,
+    r#"{"configs": [{"model": "large", "overrides": {"mshr_entries": 4,
+        "prefetch_enabled": false, "dcache_latency": 2}}],
+        "workloads": ["espresso"], "mode": "sampled",
+        "sampling": {"window_ops": 1000, "warmup_ops": 200, "interval_ops": 5000}}"#,
+    r#"{"configs": [{"latency": {"uniform": [9, 25]}},
+                    {"latency": {"bimodal": {"hit": 10, "miss": 40, "hit_permille": 750}}}],
+        "workloads": ["li"], "scale": "full"}"#,
+    r#"{"type": "cell", "config": 0, "config_name": "baseline+seed", "workload": "espresso",
+        "source": "memo", "stats": {"cycles": 123456, "instructions": 100000, "cpi": 1.23,
+        "stall_cycles": 2345, "dual_issues": 40000, "fp_instructions": 100,
+        "fingerprint": "0x00deadbeefcafe00"}}"#,
+    r#"[1, 2.5, -3e2, true, false, null, "x\ny", {"a": [{"b": "😀"}]}]"#,
+];
+
+/// One parse attempt; returns true when the parser panicked.
+fn panics(input: &str) -> bool {
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Ok(req) = QueryRequest::from_json_str(input) {
+            // An accepted request must already be inside the caps —
+            // this is the over-allocation half of the property.
+            assert!(req.configs.len() <= MAX_CONFIGS_PER_QUERY);
+            assert!(req.workloads.len() <= MAX_WORKLOADS_PER_QUERY);
+            assert!(req.configs.len() * req.workloads.len() <= MAX_CELLS_PER_QUERY);
+        }
+        // Json::parse runs inside from_json_str too, but malformed
+        // documents bail there before exercising the value accessors.
+        if let Ok(v) = Json::parse(input) {
+            let _ = v.to_string();
+        }
+    }))
+    .is_err()
+}
+
+fn check_corpus(label: &str, inputs: impl Iterator<Item = String>) {
+    let mut cases = 0usize;
+    for input in inputs {
+        assert!(!panics(&input), "{label} case panicked: {input:?}");
+        cases += 1;
+    }
+    assert!(cases > 0, "{label}: empty corpus");
+}
+
+#[test]
+fn truncations_never_panic() {
+    // Every prefix of every seed, bytewise: cuts strings, escapes,
+    // numbers, and container boundaries mid-token.
+    check_corpus(
+        "truncation",
+        SEEDS.iter().flat_map(|s| {
+            (0..s.len()).map(move |end| String::from_utf8_lossy(&s.as_bytes()[..end]).into_owned())
+        }),
+    );
+}
+
+#[test]
+fn byte_flips_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0001);
+    let corpus: Vec<String> = (0..6000)
+        .map(|i| {
+            let mut bytes = SEEDS[i % SEEDS.len()].as_bytes().to_vec();
+            for _ in 0..rng.gen_range(1..8) {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = rng.gen();
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        })
+        .collect();
+    check_corpus("byte-flip", corpus.into_iter());
+}
+
+#[test]
+fn garbage_splices_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0002);
+    let corpus: Vec<String> = (0..6000)
+        .map(|i| {
+            let seed = SEEDS[i % SEEDS.len()].as_bytes();
+            let cut = rng.gen_range(0..seed.len());
+            let mut bytes = seed[..cut].to_vec();
+            for _ in 0..rng.gen_range(0..24) {
+                bytes.push(rng.gen());
+            }
+            bytes.extend_from_slice(&seed[rng.gen_range(0..seed.len())..]);
+            String::from_utf8_lossy(&bytes).into_owned()
+        })
+        .collect();
+    check_corpus("splice", corpus.into_iter());
+}
+
+#[test]
+fn random_token_soup_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0003);
+    const TOKENS: &[&str] = &[
+        "{",
+        "}",
+        "[",
+        "]",
+        ",",
+        ":",
+        "\"",
+        "\\u",
+        "\\",
+        "null",
+        "true",
+        "false",
+        "-",
+        "1e999",
+        "0.5",
+        "9999999999999999999999",
+        "\"configs\"",
+        "\"workloads\"",
+        "e",
+        "\u{1F600}",
+    ];
+    let corpus: Vec<String> = (0..4000)
+        .map(|_| {
+            let n = rng.gen_range(0..32);
+            (0..n)
+                .map(|_| TOKENS[rng.gen_range(0..TOKENS.len())])
+                .collect()
+        })
+        .collect();
+    check_corpus("token-soup", corpus.into_iter());
+}
+
+#[test]
+fn nesting_bombs_never_panic() {
+    let corpus = [
+        "[".repeat(200_000),
+        "{\"a\":".repeat(200_000),
+        format!("{}{}", "[".repeat(100_000), "]".repeat(100_000)),
+        format!("{{\"configs\": {}1{}}}", "[".repeat(5000), "]".repeat(5000)),
+    ];
+    check_corpus("nesting-bomb", corpus.into_iter());
+}
